@@ -1,0 +1,57 @@
+"""Fig. 23a: response of the Redis query rate to checkpoints.
+
+Paper setup: redis-benchmark default workload, checkpoints at 15 s
+intervals, one simulated crash (vertical line at ~60 s) with recovery
+from the last snapshot; 120 s timeline, y-axis ~8.8–9.8 KQuery/s with
+shallow dips at each checkpoint and a deeper dip at the crash.
+"""
+
+from conftest import print_series, run_once
+
+from repro.arch.checkpointing import CheckpointedService
+from repro.redislite import BenchDriver, DirectPort, RedisServer, WorkloadGenerator
+from repro.runtime.sim import Simulator
+
+DURATION = 120.0
+CHECKPOINT_EVERY = 15.0
+CRASH_AT = 60.0
+RECOVERY_DELAY = 1.0
+
+
+def run_experiment():
+    sim = Simulator()
+    server = RedisServer()
+    ref = {}
+    svc = CheckpointedService(server, stall=lambda d: ref["p"].stall(d), sim=sim)
+    port = ref["p"] = DirectPort(sim, server)
+    wl = WorkloadGenerator(n_keys=2000, get_ratio=0.7, seed=101)
+    for cmd in wl.preload_commands():
+        server.execute(cmd)
+    svc.schedule_checkpoints(CHECKPOINT_EVERY, DURATION)
+    sim.call_at(CRASH_AT, lambda: (svc.crash(), port.stall(RECOVERY_DELAY)))
+    sim.call_at(CRASH_AT + RECOVERY_DELAY, svc.recover)
+    res = BenchDriver(sim, port, wl, clients=8).run(DURATION)
+    return svc, res
+
+
+def test_fig23a(benchmark):
+    svc, res = run_once(benchmark, run_experiment)
+    series = res.qps_series(1.0)
+    print_series("Fig 23a — Redis query rate vs checkpoints (KQuery/s)",
+                 [(t, q / 1000) for t, q in series], "KQ/s", every=5)
+    print(f"  checkpoints={svc.checkpoints} stored={svc.aud.snapshots_stored} "
+          f"restores={svc.restores}  total completions={res.count}")
+
+    s = dict(series)
+    steady = s[5.0]
+    # dips at every checkpoint instant
+    for tc in (15.0, 30.0, 45.0, 75.0, 90.0, 105.0):
+        assert s[tc] < steady * 0.99, f"expected a dip at t={tc}"
+    # the crash dip is the deepest
+    assert s[CRASH_AT] < min(s[15.0], s[30.0], s[45.0])
+    # full recovery between events
+    assert s[50.0] > steady * 0.98
+    assert s[80.0] > steady * 0.98
+    # the snapshot actually protected the data
+    assert svc.restores == 1
+    assert svc.aud.snapshots_stored >= 3

@@ -1,0 +1,101 @@
+"""Fig. 25c: CDF of GET response latencies for original Redis and the
+three C-Saw derivatives (replication, shard-by-key, shard-by-size).
+
+Paper shape: all derivatives add noticeable but low overhead over the
+baseline; "replication" (checkpoint/restart-based) has a low average
+but the longest tail latency, for a very small percentile.
+"""
+
+from conftest import print_table, run_once
+
+from repro.arch.checkpointing import CheckpointedService
+from repro.arch.sharding import ShardedRedis
+from repro.redislite import BenchDriver, DirectPort, RedisServer, WorkloadGenerator
+from repro.runtime.sim import Simulator
+
+DURATION = 5.0
+OP = "GET"
+
+
+def _workload(seed=108, get_ratio=1.0):
+    return WorkloadGenerator(n_keys=500, get_ratio=get_ratio, seed=seed,
+                             size_class_weights=(0.8, 0.15, 0.05))
+
+
+def run_baseline(get_ratio=1.0):
+    sim = Simulator()
+    server = RedisServer()
+    port = DirectPort(sim, server)
+    wl = _workload(get_ratio=get_ratio)
+    for cmd in wl.preload_commands():
+        server.execute(cmd)
+    return BenchDriver(sim, port, wl, clients=4).run(DURATION)
+
+
+def run_replication(get_ratio=1.0):
+    """Checkpoint/restart-based replication: periodic snapshots stall
+    the single-threaded server, producing the long tail."""
+    sim = Simulator()
+    server = RedisServer()
+    ref = {}
+    svc = CheckpointedService(server, stall=lambda d: ref["p"].stall(d), sim=sim)
+    port = ref["p"] = DirectPort(sim, server)
+    wl = _workload(get_ratio=get_ratio)
+    for cmd in wl.preload_commands():
+        server.execute(cmd)
+    svc.schedule_checkpoints(interval=1.0, until=DURATION)
+    return BenchDriver(sim, port, wl, clients=4).run(DURATION)
+
+
+def run_sharded(mode, get_ratio=1.0):
+    wl = _workload(get_ratio=get_ratio)
+    size_table = {k: wl.key_size(k) for k in wl._keys}
+    svc = ShardedRedis(4, mode=mode, size_table=size_table, latency=100e-6)
+    svc.preload(wl.preload_commands())
+    return BenchDriver(svc.sim, svc, wl, clients=4).run(DURATION)
+
+
+def run_experiment(get_ratio=1.0):
+    return {
+        "baseline": run_baseline(get_ratio),
+        "replication": run_replication(get_ratio),
+        "shard-key": run_sharded("key", get_ratio),
+        "shard-size": run_sharded("size", get_ratio),
+    }
+
+
+def report(results, op):
+    rows = []
+    for name, res in results.items():
+        rows.append([
+            name,
+            res.count,
+            f"{res.percentile(0.50, op)*1e3:7.3f}ms",
+            f"{res.percentile(0.99, op)*1e3:7.3f}ms",
+            f"{max(res.latencies(op))*1e3:8.3f}ms",
+        ])
+    print_table(f"latency CDF summary ({op})",
+                ["config", "n", "p50", "p99", "max"], rows)
+
+
+def assert_shape(results, op):
+    base = results["baseline"]
+    repl = results["replication"]
+    key = results["shard-key"]
+    size = results["shard-size"]
+    # the architecture layers add latency over the baseline
+    assert key.percentile(0.5, op) > base.percentile(0.5, op)
+    assert size.percentile(0.5, op) > base.percentile(0.5, op)
+    # replication's *average* stays near the baseline...
+    assert repl.percentile(0.5, op) < 2.0 * base.percentile(0.5, op)
+    # ...but its tail is the longest of all configurations
+    tails = {n: max(r.latencies(op)) for n, r in results.items()}
+    assert tails["replication"] == max(tails.values())
+    # and the tail is a very small percentile: p99 is still modest
+    assert repl.percentile(0.99, op) < tails["replication"] / 5
+
+
+def test_fig25c_get_cdf(benchmark):
+    results = run_once(benchmark, lambda: run_experiment(get_ratio=1.0))
+    report(results, OP)
+    assert_shape(results, OP)

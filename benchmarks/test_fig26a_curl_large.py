@@ -1,0 +1,58 @@
+"""Fig. 26a: modified cURL on large files (20 MB – 1200 MB).
+
+Paper: absolute download times for the large end of the sweep; "the
+performance difference for large files is less intelligible" — the
+audit overhead disappears into the transfer time.
+"""
+
+from conftest import print_table, run_once
+
+from repro.arch.snapshot import RemoteAuditor
+from repro.curlite import FileServer, run_sweep
+from repro.runtime.sim import Simulator
+
+SIZES = [20_000_000, 50_000_000, 100_000_000, 400_000_000, 700_000_000, 1_200_000_000]
+
+
+def run_experiment():
+    sim = Simulator()
+    server = FileServer()
+    server.put_standard_corpus()
+    same = RemoteAuditor(placement="same-vm", sim=sim)
+    cross = RemoteAuditor(placement="cross-vm", sim=sim)
+    return run_sweep(
+        sim, server, SIZES,
+        {
+            "original": ("none", None),
+            "same-vm": ("continuous", same.audit_hook()),
+            "cross-vm": ("continuous", cross.audit_hook()),
+        },
+        repetitions=5,
+    )
+
+
+def test_fig26a(benchmark):
+    res = run_once(benchmark, run_experiment)
+    rows = []
+    for size in res.sizes():
+        rows.append([
+            f"{size // 1_000_000}MB",
+            f"{res.mean(size, 'original'):7.3f}s",
+            f"{res.mean(size, 'same-vm'):7.3f}s",
+            f"{res.mean(size, 'cross-vm'):7.3f}s",
+            f"{res.overhead_percent(size, 'cross-vm'):+5.2f}%",
+        ])
+    print_table("Fig 26a — cURL large-file download times",
+                ["size", "original", "same-VM", "cross-VM", "cross oh"], rows)
+
+    # download time scales ~linearly with size
+    t20 = res.mean(20_000_000, "original")
+    t1200 = res.mean(1_200_000_000, "original")
+    assert 40 < t1200 / t20 < 80  # 60x the bytes
+    # overhead has become marginal and shrinks further with size
+    # ("less intelligible"): monotone decrease, under 1% by 400 MB
+    cross = [res.overhead_percent(s, "cross-vm") for s in SIZES]
+    assert all(cross[i] >= cross[i + 1] for i in range(len(cross) - 1))
+    for size in (400_000_000, 700_000_000, 1_200_000_000):
+        assert res.overhead_percent(size, "cross-vm") < 1.0
+        assert res.overhead_percent(size, "same-vm") < 0.5

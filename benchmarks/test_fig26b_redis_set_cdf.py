@@ -1,0 +1,15 @@
+"""Fig. 26b: CDF of SET response latencies for the same four
+configurations as Fig. 25c ("The results for SET are similar").
+"""
+
+from conftest import run_once
+
+from test_fig25c_redis_get_cdf import assert_shape, report, run_experiment
+
+OP = "SET"
+
+
+def test_fig26b_set_cdf(benchmark):
+    results = run_once(benchmark, lambda: run_experiment(get_ratio=0.0))
+    report(results, OP)
+    assert_shape(results, OP)

@@ -1,0 +1,56 @@
+"""Fig. 26c: Redis sharding by object size.
+
+Paper setup: objects quantized into 0–4 KB / 4–64 KB / >64 KB classes,
+each class served by its own back-end; a workload with a distribution
+corresponding to the key-based experiment produces diverging cumulative
+per-shard curves (the class mix shows as the slope ratios).
+"""
+
+from conftest import print_table, run_once
+
+from repro.arch.sharding import ShardedRedis, object_size_chooser
+from repro.redislite import BenchDriver, CostModel, WorkloadGenerator
+
+DURATION = 60.0
+CLASS_WEIGHTS = (0.6, 0.3, 0.1)  # small / medium / large object mix
+
+
+def run_experiment():
+    wl = WorkloadGenerator(
+        n_keys=400, seed=109, size_class_weights=CLASS_WEIGHTS, get_ratio=0.8
+    )
+    size_table = {k: wl.key_size(k) for k in wl._keys}
+    svc = ShardedRedis(
+        4, mode="size", size_table=size_table,
+        cost_model=CostModel(per_command=2e-3),
+    )
+    svc.preload(wl.preload_commands())
+    chooser = object_size_chooser(4, size_table)
+    res = BenchDriver(svc.sim, svc, wl, clients=8).run(DURATION)
+    return svc, res, chooser
+
+
+def test_fig26c(benchmark):
+    svc, res, chooser = run_once(benchmark, run_experiment)
+    data = res.cumulative_by(lambda c: chooser({"key": c.key}), dt=10.0)
+    classes = sorted(data["series"])
+    rows = []
+    for i, t in enumerate(data["times"]):
+        rows.append([f"{t:5.0f}s"] + [data["series"][c][i] for c in classes])
+    print_table(
+        "Fig 26c — cumulative requests per size-class shard "
+        "(0-4KB / 4-64KB / >64KB)",
+        ["time"] + [f"shard{c + 1}" for c in classes],
+        rows,
+    )
+    print(f"  completions={res.count} shard dataset sizes={svc.shard_sizes()}")
+
+    finals = {c: data["series"][c][-1] for c in classes}
+    # the size-class mix shows in the request ratios
+    assert finals[0] > 1.5 * finals[1] > 1.5 * finals[2]
+    # the large class still gets real traffic
+    assert finals[2] > 0
+    # shard 4 idle: only three quantization classes exist
+    assert len(classes) == 3
+    assert svc.shard_counts[3] == 0
+    assert svc.system.failures == []

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Elastic scale-out/scale-in (extension): the paper's remaining
+motivating needs — "manageability through ... scale-out" and "lower
+resource cost through scale-in" (sec. 1) — built on the sec. 7.1
+asynchronous-dispatch pattern (`wait [] !Work[tgt]; write; assert`).
+
+A job service starts with two workers, scales to four under load (the
+DSL's `start` statement, driven through an idx cursor), then scales
+back in (`stop`).
+
+Run:  python examples/elastic_workers.py
+"""
+
+from repro.arch.elastic import ElasticWorkers
+
+
+def run_batch(svc: ElasticWorkers, n_jobs: int, units: int = 4) -> float:
+    t0 = svc.system.now
+    finish = []
+    remaining = [n_jobs]
+
+    def cb(_result):
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            finish.append(svc.system.now)
+
+    for _ in range(n_jobs):
+        svc.submit_job(units, cb)
+    svc.system.run_until(svc.system.now + 120.0)
+    assert finish, "batch did not complete"
+    return finish[0] - t0
+
+
+def main() -> None:
+    svc = ElasticWorkers(unit_cost=5e-3)
+    print(f"workers running: {svc.running_workers()}")
+
+    t2 = run_batch(svc, 40)
+    print(f"40 jobs on 2 workers: {t2:.3f}s")
+
+    print("scaling out twice (DSL `start which(t)` through the idx cursor)...")
+    for _ in range(2):
+        svc.scale_out()
+        svc.system.run_until(svc.system.now + 2.0)
+    print(f"workers running: {svc.running_workers()}")
+
+    t4 = run_batch(svc, 40)
+    print(f"40 jobs on 4 workers: {t4:.3f}s  ({t2 / t4:.2f}x faster)")
+
+    print("scaling back in (DSL `stop which`)...")
+    for _ in range(2):
+        svc.scale_in()
+        svc.system.run_until(svc.system.now + 2.0)
+    print(f"workers running: {svc.running_workers()}")
+
+    t2b = run_batch(svc, 40)
+    print(f"40 jobs on 2 workers again: {t2b:.3f}s")
+    assert t4 < t2, "scale-out should speed up the batch"
+    print(f"scale events: {[(round(t, 2), d, w) for t, d, w in svc.front.scale_events]}")
+    print("done — capacity followed demand, orchestrated from the DSL.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Live migration (extension): the manageability feature the paper's
+introduction motivates (sec. 1, need (ii)) built from the shipped DSL
+building blocks — snapshot (Fig. 4), push-based state transfer, and a
+host-language routing policy.
+
+A redislite dataset serves traffic on NodeA, live-migrates to NodeB
+under load, and keeps serving throughout; only the atomic switch
+changes where requests land.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro.arch.migration import MigratableRedis
+from repro.redislite import BenchDriver, WorkloadGenerator
+
+
+def main() -> None:
+    svc = MigratableRedis(timeout=0.5)
+    wl = WorkloadGenerator(n_keys=3000, get_ratio=0.8, seed=77)
+    svc.preload(wl.preload_commands())
+    print(f"dataset: {svc.node_server('NodeA').store.size()} keys on NodeA; "
+          f"active = {svc.active}")
+
+    driver = BenchDriver(svc.sim, svc, wl, clients=4)
+    migrated = []
+    svc.sim.call_at(1.0, lambda: (
+        print("  t=1.0s  -> live migration NodeA -> NodeB starts"),
+        svc.migrate("NodeB", migrated.append),
+    ))
+    res = driver.run(3.0)
+
+    print(f"migration result: {'OK' if migrated == [True] else migrated}")
+    print(f"active now: {svc.active}; NodeB holds "
+          f"{svc.node_server('NodeB').store.size()} keys")
+    a = svc.system.instance("NodeA").app.executed
+    b = svc.system.instance("NodeB").app.executed
+    print(f"requests served: {res.count} total "
+          f"(NodeA {a}, NodeB {b}) — traffic flowed across the switch")
+    print("per-second query rate:")
+    for t, qps in res.qps_series(0.5):
+        marker = "  <- migration window" if 1.0 <= t < 2.0 else ""
+        print(f"  t={t:3.1f}s {qps:8.0f}/s{marker}")
+    assert migrated == [True] and svc.system.failures == []
+    print("done — the architecture moved the data; the routing policy "
+          "(one host-language field) decided where requests go.")
+
+
+if __name__ == "__main__":
+    main()

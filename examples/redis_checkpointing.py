@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Checkpointing redislite with crash recovery (paper Fig. 23a).
+
+Runs a redis-benchmark workload against a server protected by the
+checkpointing architecture: snapshots every 15 s are pushed to a remote
+Aud instance; at t=60 s the server crashes and is restored from the
+last snapshot, losing only the writes since then.
+
+Run:  python examples/redis_checkpointing.py
+"""
+
+from repro.arch.checkpointing import CheckpointedService
+from repro.redislite import BenchDriver, DirectPort, RedisServer, WorkloadGenerator
+from repro.runtime.sim import Simulator
+
+DURATION = 120.0
+CHECKPOINT_EVERY = 15.0
+CRASH_AT = 60.0
+RECOVERY_DELAY = 1.0
+
+
+def main() -> None:
+    sim = Simulator()
+    server = RedisServer()
+    port_ref = {}
+    svc = CheckpointedService(server, stall=lambda d: port_ref["p"].stall(d), sim=sim)
+    port = DirectPort(sim, server)
+    port_ref["p"] = port
+
+    wl = WorkloadGenerator(n_keys=2000, get_ratio=0.7, seed=23)
+    for cmd in wl.preload_commands():
+        server.execute(cmd)
+
+    svc.schedule_checkpoints(CHECKPOINT_EVERY, DURATION)
+
+    def crash():
+        svc.crash()
+        port.stall(RECOVERY_DELAY)  # the outage until the restore lands
+
+    sim.call_at(CRASH_AT, crash)
+    sim.call_at(CRASH_AT + RECOVERY_DELAY, svc.recover)
+
+    res = BenchDriver(sim, port, wl, clients=8).run(DURATION)
+
+    print(f"completed {res.count} requests over {DURATION:.0f}s")
+    print(f"checkpoints taken: {svc.checkpoints}, stored remotely: "
+          f"{svc.aud.snapshots_stored}, restores: {svc.restores}")
+    print("\nquery rate over time (KQuery/s):")
+    for t, qps in res.qps_series(5.0):
+        bar = "#" * int(qps / 400)
+        marker = " <-- crash+restore" if CRASH_AT <= t < CRASH_AT + 5 else ""
+        print(f"  {t:5.0f}s {qps/1000:6.2f}K {bar}{marker}")
+    print("\nnote the dips at each 15s checkpoint and the deeper dip at "
+          "the crash — the shape of the paper's Fig. 23a.")
+
+
+if __name__ == "__main__":
+    main()

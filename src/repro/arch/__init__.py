@@ -1,0 +1,49 @@
+"""The architecture library: the paper's DSL programs plus their
+substrate integrations."""
+
+from .caching import CachedRedis, LruCache
+from .checkpointing import CheckpointedService
+from .failover import FailoverRedis, FailoverService, FailoverSuricata, FastFailoverRedis
+from .elastic import ElasticWorkers
+from .migration import MigratableRedis
+from .loader import ARCHITECTURES, backend_names, load_program, load_source
+from .ports import BackApp, FrontApp
+from .sharding import (
+    ParallelShardedRedis,
+    ShardedRedis,
+    ShardedSuricata,
+    five_tuple_chooser,
+    key_hash_chooser,
+    object_size_chooser,
+)
+from .snapshot import CROSS_VM_LATENCY, RemoteAuditor, SAME_VM_LATENCY
+from .watched import WatchedRedis, WatchedService
+
+__all__ = [
+    "ARCHITECTURES",
+    "BackApp",
+    "CROSS_VM_LATENCY",
+    "CachedRedis",
+    "CheckpointedService",
+    "ElasticWorkers",
+    "FailoverRedis",
+    "FailoverService",
+    "FailoverSuricata",
+    "FastFailoverRedis",
+    "FrontApp",
+    "LruCache",
+    "MigratableRedis",
+    "ParallelShardedRedis",
+    "RemoteAuditor",
+    "SAME_VM_LATENCY",
+    "ShardedRedis",
+    "ShardedSuricata",
+    "WatchedRedis",
+    "WatchedService",
+    "backend_names",
+    "five_tuple_chooser",
+    "key_hash_chooser",
+    "load_program",
+    "load_source",
+    "object_size_chooser",
+]

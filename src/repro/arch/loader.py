@@ -1,0 +1,59 @@
+"""Loading the architecture library's DSL sources.
+
+Architectures live as ``.csaw`` files under ``repro/arch/dsl``.  The
+sharding program is parameterized by the number of back-ends (a
+compile-time configuration parameter in the paper, sec. 5.2); the
+loader expands the ``@BACKENDS@`` / ``@BACKSET@`` / ``@STARTS@``
+placeholders before compilation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.compiler import CompiledProgram, compile_program
+
+_DSL_DIR = Path(__file__).parent / "dsl"
+
+ARCHITECTURES = (
+    "remote_snapshot",
+    "sharding",
+    "parallel_sharding",
+    "caching",
+    "checkpointing",
+    "failover",
+    "failover_fast",
+    "migration",
+    "elastic",
+    "watched_failover",
+)
+
+
+def dsl_path(name: str) -> Path:
+    p = _DSL_DIR / f"{name}.csaw"
+    if not p.exists():
+        raise FileNotFoundError(f"no architecture {name!r}; have {ARCHITECTURES}")
+    return p
+
+
+def load_source(name: str, *, n_backends: int | None = None) -> str:
+    """Read (and, for sharding, instantiate) an architecture source."""
+    text = dsl_path(name).read_text()
+    if "@BACKENDS@" in text:
+        n = n_backends or 4
+        names = [f"Bck{i}" for i in range(1, n + 1)]
+        text = text.replace("@BACKENDS@", ", ".join(f"{b}: Back" for b in names))
+        text = text.replace("@BACKSET@", "{" + ", ".join(names) + "}")
+        text = text.replace("@STARTS@", " + ".join(f"start {b}(t)" for b in names))
+    elif n_backends is not None:
+        raise ValueError(f"architecture {name!r} is not parameterized by back-end count")
+    return text
+
+
+def load_program(name: str, *, n_backends: int | None = None, config=None) -> CompiledProgram:
+    """Load and compile an architecture."""
+    return compile_program(load_source(name, n_backends=n_backends), config=config)
+
+
+def backend_names(n: int) -> list[str]:
+    return [f"Bck{i}" for i in range(1, n + 1)]

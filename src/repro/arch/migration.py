@@ -1,0 +1,189 @@
+"""Live migration applied to redislite (extension; see
+``dsl/migration.csaw``).
+
+:class:`MigratableRedis` serves requests through the currently-active
+node and can live-migrate the dataset to the other node:
+snapshot → transfer → install → switch, all expressed in the DSL, with
+the routing policy (which node is active) living in host-language
+state, exactly where the paper draws the line between architecture and
+application logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..redislite.server import Command, CostModel, RedisServer, Reply
+from ..runtime.system import System
+from .loader import load_program
+from .ports import BackApp, FrontApp
+
+_NODES = ("NodeA", "NodeB")
+
+
+class _RouterApp(FrontApp):
+    def __init__(self, system: System, node: str):
+        super().__init__(system, node)
+        self.active = "NodeA"
+        self.migration_plan: tuple[str, str] | None = None
+        self.migrations = 0
+        self.migration_done_cb: Callable[[], None] | None = None
+
+
+class MigratableRedis:
+    """A redislite service whose dataset can live-migrate between two
+    nodes (RequestPort)."""
+
+    def __init__(
+        self,
+        *,
+        cost_model: CostModel | None = None,
+        latency: float = 100e-6,
+        timeout: float = 0.5,
+        seed: int = 0,
+    ):
+        self.program = load_program("migration")
+        self.system = System(self.program, latency=latency, seed=seed)
+        sys_ = self.system
+
+        self.front = _RouterApp(sys_, "Fnt::route")
+        sys_.bind_app("Front", lambda inst: self.front)
+        sys_.bind_app(
+            "Node",
+            lambda inst: BackApp(RedisServer(name=inst.name, cost=cost_model)),
+        )
+
+        @sys_.host("Front", "PickActive")
+        def _pick(ctx):
+            req = ctx.app.begin_next()
+            if req is None:
+                from ..core.errors import DslFailure
+
+                raise DslFailure("router scheduled with no pending request")
+            ctx.set("active", f"{ctx.app.active}::serve")
+
+        @sys_.host("Front", "Respond")
+        def _respond(ctx):
+            ctx.app.respond()
+
+        @sys_.host("Front", "Complain")
+        def _complain(ctx):
+            if ctx.junction == "route":
+                ctx.app.fail_current()
+            # a failed migration leaves routing untouched
+            elif ctx.app.migration_done_cb is not None:
+                cb, ctx.app.migration_done_cb = ctx.app.migration_done_cb, None
+                cb(False)
+
+        @sys_.host("Front", "PlanMigration")
+        def _plan(ctx):
+            src, dst = ctx.app.migration_plan
+            ctx.set("src", f"{src}::ctl")
+            ctx.set("dst", f"{dst}::ctl")
+
+        @sys_.host("Front", "SwitchActive")
+        def _switch(ctx):
+            _src, dst = ctx.app.migration_plan
+            ctx.app.active = dst
+            ctx.app.migrations += 1
+            if ctx.app.migration_done_cb is not None:
+                cb, ctx.app.migration_done_cb = ctx.app.migration_done_cb, None
+                cb(True)
+
+        @sys_.host("Node", "Exec")
+        def _exec(ctx):
+            app: BackApp = ctx.app
+            if app.current is None:
+                return
+            req = app.current
+            server: RedisServer = app.payload
+            reply, cost = server.execute(
+                Command(req["op"], req["key"], req.get("value", b"")), now=ctx.now
+            )
+            app.set_reply({"ok": reply.ok, "value": reply.value, "hit": reply.hit})
+            ctx.take(cost)
+
+        @sys_.host("Node", "Freeze")
+        def _freeze(ctx):
+            server: RedisServer = ctx.app.payload
+            _snap, cost = server.checkpoint()
+            ctx.take(cost)
+
+        @sys_.host("Node", "Complain")
+        def _node_complain(ctx):
+            pass
+
+        sys_.bind_state(
+            "Front", data_name="n",
+            save=lambda app, inst: app.current,
+            restore=lambda app, inst, obj: None,
+        )
+        sys_.bind_state(
+            "Front", data_name="m",
+            save=lambda app, inst: app.reply,
+            restore=lambda app, inst, obj: app.set_reply(obj),
+        )
+        sys_.bind_state(
+            "Front", data_name="state",
+            save=lambda app, inst: None,   # state only passes through
+            restore=lambda app, inst, obj: None,
+        )
+        sys_.bind_state(
+            "Node", data_name="n",
+            save=lambda app, inst: app.current,
+            restore=lambda app, inst, obj: app.receive(obj),
+        )
+        sys_.bind_state(
+            "Node", data_name="m",
+            save=lambda app, inst: app.reply,
+            restore=lambda app, inst, obj: None,
+        )
+        sys_.bind_state(
+            "Node", data_name="state",
+            save=lambda app, inst: app.payload.checkpoint()[0],
+            restore=lambda app, inst, obj: app.payload.restore(obj),
+        )
+
+        sys_.start(t=timeout)
+
+    @property
+    def sim(self):
+        return self.system.sim
+
+    @property
+    def active(self) -> str:
+        return self.front.active
+
+    def node_server(self, name: str) -> RedisServer:
+        return self.system.instance(name).app.payload
+
+    # -- RequestPort -------------------------------------------------------
+
+    def submit(self, cmd: Command, on_done: Callable[[Reply], None]) -> None:
+        request = {"op": cmd.op, "key": cmd.key, "value": cmd.value}
+
+        def done(reply: dict | None):
+            if reply is None:
+                on_done(Reply(ok=False))
+            else:
+                on_done(Reply(ok=reply["ok"], value=reply["value"], hit=reply["hit"]))
+
+        self.front.submit(request, done)
+
+    def preload(self, commands) -> None:
+        server = self.node_server(self.front.active)
+        for cmd in commands:
+            server.execute(cmd, now=0.0)
+
+    # -- migration -----------------------------------------------------------
+
+    def migrate(self, dst: str, on_done: Callable[[bool], None] | None = None) -> None:
+        """Live-migrate the dataset from the active node to ``dst``."""
+        if dst not in _NODES:
+            raise ValueError(f"unknown node {dst!r}")
+        src = self.front.active
+        if src == dst:
+            raise ValueError("destination is already active")
+        self.front.migration_plan = (src, dst)
+        self.front.migration_done_cb = on_done
+        self.system.external_update("Fnt::migrate", "MigrateReq", True)

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command> <file.csaw>``.
+
+Commands:
+
+* ``check``     — parse + validate + compile; report errors with positions.
+* ``fmt``       — pretty-print (normalize) an architecture file.
+* ``topo``      — print the communication topology (sec. 8.7's Topo).
+* ``semantics`` — print the event-structure semantics per junction
+                  (``--dot`` for Graphviz output).
+* ``loc``       — count non-blank, non-comment lines.
+
+Configuration values (set contents, parameters) are supplied as
+``--config name=value`` pairs; values parse as numbers, comma-separated
+lists, or names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.compiler import compile_program
+from .core.emit import emit_program
+from .core.errors import CSawError
+from .core.parser import parse_program
+from .core.topology import topology
+from .semantics.program_sem import denote_program
+from .semantics.render import to_dot, to_text
+
+
+def _parse_config(pairs: list[str]) -> dict:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--config expects name=value, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        if "," in raw:
+            out[name] = [_scalar(v) for v in raw.split(",") if v]
+        else:
+            out[name] = _scalar(raw)
+    return out
+
+
+def _scalar(raw: str) -> object:
+    try:
+        return float(raw) if "." in raw else int(raw)
+    except ValueError:
+        return raw
+
+
+def cmd_check(args) -> int:
+    text = Path(args.file).read_text()
+    prog = compile_program(text, config=_parse_config(args.config))
+    print(f"OK: {len(prog.source.instance_types)} type(s), "
+          f"{len(prog.source.instances)} instance(s), "
+          f"{len(prog.junctions)} junction(s), "
+          f"{len(prog.source.functions)} function(s)")
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    text = Path(args.file).read_text()
+    out = emit_program(parse_program(text))
+    if args.write:
+        Path(args.file).write_text(out)
+        print(f"formatted {args.file}")
+    else:
+        sys.stdout.write(out)
+    return 0
+
+
+def cmd_topo(args) -> int:
+    text = Path(args.file).read_text()
+    prog = compile_program(text, config=_parse_config(args.config))
+    g = topology(prog)
+    print(f"# {g.number_of_nodes()} junction(s), {g.number_of_edges()} edge(s)")
+    for src, dst in sorted(g.edges()):
+        print(f"{src} -> {dst}")
+    return 0
+
+
+def cmd_semantics(args) -> int:
+    text = Path(args.file).read_text()
+    prog = compile_program(text, config=_parse_config(args.config))
+    sem = denote_program(prog, _parse_config(args.config))
+    if args.dot:
+        print(to_dot(sem.startup, "startup"))
+        for node, es in sorted(sem.junctions.items()):
+            print(to_dot(es, node))
+    else:
+        print("== startup ==")
+        print(to_text(sem.startup))
+        for node, es in sorted(sem.junctions.items()):
+            print(f"\n== {node} ==")
+            print(to_text(es))
+    return 0
+
+
+def cmd_loc(args) -> int:
+    from .arch.loc import count_loc_text
+
+    text = Path(args.file).read_text()
+    print(count_loc_text(text))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="C-Saw architecture tooling"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("file", help="a .csaw architecture file")
+        sp.add_argument(
+            "--config", action="append", default=[], metavar="NAME=VALUE",
+            help="load-time configuration (sets, parameters); repeatable",
+        )
+
+    sp = sub.add_parser("check", help="parse, validate and compile")
+    common(sp)
+    sp.set_defaults(fn=cmd_check)
+
+    sp = sub.add_parser("fmt", help="pretty-print / normalize")
+    sp.add_argument("file")
+    sp.add_argument("--write", action="store_true", help="rewrite in place")
+    sp.set_defaults(fn=cmd_fmt)
+
+    sp = sub.add_parser("topo", help="print the communication topology")
+    common(sp)
+    sp.set_defaults(fn=cmd_topo)
+
+    sp = sub.add_parser("semantics", help="print event-structure semantics")
+    common(sp)
+    sp.add_argument("--dot", action="store_true", help="Graphviz output")
+    sp.set_defaults(fn=cmd_semantics)
+
+    sp = sub.add_parser("loc", help="count effective lines of code")
+    sp.add_argument("file")
+    sp.set_defaults(fn=cmd_loc)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except CSawError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

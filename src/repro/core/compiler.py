@@ -1,0 +1,103 @@
+"""Compilation pipeline: parse → validate → inline → package.
+
+The output, :class:`CompiledProgram`, is what the runtime loads.  Each
+junction keeps its (inlined, ``if``-desugared) body template plus its
+declarations; final specialization — substituting the parameter values
+supplied by ``start`` and unrolling ``for`` templates — happens when an
+instance starts (:func:`repro.core.expand.specialize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from . import ast as A
+from .errors import CompileError
+from .expand import inline_functions, to_ast_value
+from .parser import parse_program
+from .validate import validate_program
+
+
+@dataclass(frozen=True)
+class CompiledJunction:
+    """A junction definition after function inlining."""
+
+    type_name: str
+    name: str
+    params: tuple[str, ...]
+    decls: tuple[A.Decl, ...]
+    body: A.Expr
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.type_name}::{self.name}"
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A validated, inlined architecture description ready to run."""
+
+    source: A.Program
+    junctions: tuple[CompiledJunction, ...]
+    main: A.MainDef | None
+    config: Mapping[str, object] = field(default_factory=dict)
+
+    def instance_map(self) -> dict[str, str]:
+        return self.source.instance_map()
+
+    def junctions_of_type(self, type_name: str) -> list[CompiledJunction]:
+        return [j for j in self.junctions if j.type_name == type_name]
+
+    def junction(self, type_name: str, name: str) -> CompiledJunction:
+        for j in self.junctions:
+            if j.type_name == type_name and j.name == name:
+                return j
+        raise CompileError(f"no junction {type_name}::{name}")
+
+    def config_env(self) -> dict[str, object]:
+        """The load-time configuration lifted to AST values (used to
+        supply ``set`` declarations without literals and main args)."""
+        return {k: to_ast_value(v) for k, v in self.config.items()}
+
+
+def compile_program(
+    source: str | A.Program,
+    config: Mapping[str, object] | None = None,
+) -> CompiledProgram:
+    """Compile DSL source text (or a parsed :class:`~repro.core.ast.Program`).
+
+    ``config`` supplies load-time values: contents for ``set``
+    declarations that lack literals, and values referenced by ``main``'s
+    parameters when the runtime starts the program.
+    """
+    program = parse_program(source) if isinstance(source, str) else source
+    validate_program(program)
+    functions = program.function_map()
+
+    compiled: list[CompiledJunction] = []
+    for d in program.defs:
+        body, extra_decls = inline_functions(d.body, functions)
+        compiled.append(
+            CompiledJunction(
+                type_name=d.type_name,
+                name=d.junction,
+                params=d.params,
+                decls=d.decls + extra_decls,
+                body=body,
+            )
+        )
+
+    main = program.main
+    if main is not None:
+        main_body, extra = inline_functions(main.body, functions)
+        if extra:
+            raise CompileError("functions inlined into main may not carry declarations")
+        main = A.MainDef(params=main.params, body=main_body)
+
+    return CompiledProgram(
+        source=program,
+        junctions=tuple(compiled),
+        main=main,
+        config=dict(config or {}),
+    )

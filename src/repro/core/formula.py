@@ -1,0 +1,378 @@
+"""Propositional formulas of the C-Saw DSL.
+
+The grammar (Table 1 of the paper) is::
+
+    F ::= P | false | !F | F && F | F || F | F -> F
+    G ::= F | gamma@F          -- junction-scoped formulas
+    plus S(iota)               -- instance-liveness predicate (sec. 7.4)
+
+``true`` is sugar for ``!false``.  Propositions may be indexed
+(``Work[tgt]``); an index is resolved against the junction's bindings
+before evaluation, after which the proposition is identified by the
+flat key ``"Work[Bck1]"``.
+
+The module provides:
+
+* frozen AST dataclasses for formulas,
+* three-valued evaluation (``True`` / ``False`` / ``UNKNOWN``) used by
+  ``verify`` and junction guards,
+* conversion to disjunctive normal form (sets of literal sets), used by
+  the event-structure semantics (sec. 8.3) and by the runtime's ``wait``
+  machinery to know which propositions a blocked formula observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, Tuple
+
+
+class Ternary:
+    """Singleton third truth value for the paper's ternary logic."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "UNKNOWN"
+
+    def __bool__(self) -> bool:
+        raise TypeError("UNKNOWN has no boolean value; handle it explicitly")
+
+
+#: The third truth value.  ``verify`` treats it as an error.
+UNKNOWN = Ternary()
+
+
+class Formula:
+    """Base class of formula AST nodes.  All nodes are immutable."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """A user-defined proposition, optionally indexed.
+
+    ``index`` is either ``None``, a variable name (to be resolved), or a
+    concrete set element (after substitution).
+    """
+
+    name: str
+    index: object | None = None
+
+    def key(self) -> str:
+        """Flat KV-table key for this proposition."""
+        if self.index is None:
+            return self.name
+        return f"{self.name}[{self.index}]"
+
+    def __str__(self) -> str:
+        return self.key()
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The constant ``false``."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"!{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} && {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} || {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} -> {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class At(Formula):
+    """``gamma@F``: formula ``F`` interpreted in junction ``gamma``.
+
+    ``junction`` is a reference expression resolved by the runtime (it
+    may involve ``me::instance``).  Evaluating ``At`` when the target's
+    instance is not running yields :data:`UNKNOWN`.
+    """
+
+    junction: object  # a core.ast.Ref, kept loose to avoid a cycle
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"{self.junction}@{_paren(self.body)}"
+
+
+@dataclass(frozen=True)
+class Live(Formula):
+    """``S(iota)``: true iff instance ``iota`` is currently running.
+
+    Used by the watched fail-over architecture (sec. 7.4) to guard
+    watchdog junctions on subsystem liveness.
+    """
+
+    instance: object
+
+    def __str__(self) -> str:
+        return f"S({self.instance})"
+
+
+TRUE: Formula = Not(FalseF())
+
+
+def _paren(f: Formula) -> str:
+    if isinstance(f, (Prop, FalseF, Not, Live)):
+        return str(f)
+    return f"({f})"
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+#: An environment maps a proposition key to True/False/UNKNOWN.  ``at``
+#: resolves junction-scoped sub-formulas; ``live`` resolves liveness.
+PropEnv = Callable[[str], object]
+
+
+def evaluate(
+    f: Formula,
+    env: PropEnv,
+    *,
+    at: Callable[[object, Formula], object] | None = None,
+    live: Callable[[object], object] | None = None,
+) -> object:
+    """Three-valued (Kleene) evaluation of ``f``.
+
+    ``env(key)`` returns the truth value of proposition ``key`` —
+    ``True``, ``False`` or :data:`UNKNOWN`.  ``at(junction, body)``
+    evaluates a junction-scoped sub-formula; ``live(instance)`` tests
+    liveness.  Missing handlers make the respective constructs evaluate
+    to :data:`UNKNOWN`.
+    """
+    if isinstance(f, FalseF):
+        return False
+    if isinstance(f, Prop):
+        return env(f.key())
+    if isinstance(f, Not):
+        v = evaluate(f.operand, env, at=at, live=live)
+        return UNKNOWN if v is UNKNOWN else (not v)
+    if isinstance(f, And):
+        l = evaluate(f.left, env, at=at, live=live)
+        r = evaluate(f.right, env, at=at, live=live)
+        if l is False or r is False:
+            return False
+        if l is UNKNOWN or r is UNKNOWN:
+            return UNKNOWN
+        return True
+    if isinstance(f, Or):
+        l = evaluate(f.left, env, at=at, live=live)
+        r = evaluate(f.right, env, at=at, live=live)
+        if l is True or r is True:
+            return True
+        if l is UNKNOWN or r is UNKNOWN:
+            return UNKNOWN
+        return False
+    if isinstance(f, Implies):
+        return evaluate(Or(Not(f.left), f.right), env, at=at, live=live)
+    if isinstance(f, At):
+        if at is None:
+            return UNKNOWN
+        return at(f.junction, f.body)
+    if isinstance(f, Live):
+        if live is None:
+            return UNKNOWN
+        return live(f.instance)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def evaluate_bool(f: Formula, env: PropEnv, **kw) -> bool:
+    """Two-valued evaluation; :data:`UNKNOWN` collapses to ``False``."""
+    v = evaluate(f, env, **kw)
+    return v is True
+
+
+# ---------------------------------------------------------------------------
+# Structural queries
+# ---------------------------------------------------------------------------
+
+def propositions(f: Formula) -> FrozenSet[str]:
+    """The set of flat proposition keys occurring in ``f`` (local scope
+    only; propositions under an ``@`` belong to the remote junction and
+    are excluded)."""
+    out: set[str] = set()
+
+    def walk(g: Formula) -> None:
+        if isinstance(g, Prop):
+            out.add(g.key())
+        elif isinstance(g, Not):
+            walk(g.operand)
+        elif isinstance(g, (And, Or, Implies)):
+            walk(g.left)
+            walk(g.right)
+        # At / Live / FalseF contribute no local propositions
+
+    walk(f)
+    return frozenset(out)
+
+
+def prop_nodes(f: Formula) -> Iterator[Prop]:
+    """Iterate over every :class:`Prop` node, including under ``@``."""
+    if isinstance(f, Prop):
+        yield f
+    elif isinstance(f, Not):
+        yield from prop_nodes(f.operand)
+    elif isinstance(f, (And, Or, Implies)):
+        yield from prop_nodes(f.left)
+        yield from prop_nodes(f.right)
+    elif isinstance(f, At):
+        yield from prop_nodes(f.body)
+
+
+# ---------------------------------------------------------------------------
+# Disjunctive normal form
+# ---------------------------------------------------------------------------
+
+#: A literal is ``(key, polarity)``; a DNF is a frozenset of frozensets
+#: of literals.  The empty DNF denotes ``false``; a DNF containing the
+#: empty clause denotes ``true``.
+Literal = Tuple[str, bool]
+Clause = FrozenSet[Literal]
+DNF = FrozenSet[Clause]
+
+DNF_FALSE: DNF = frozenset()
+DNF_TRUE: DNF = frozenset({frozenset()})
+
+
+def to_dnf(f: Formula) -> DNF:
+    """Convert ``f`` to disjunctive normal form (sec. 8.3 of the paper).
+
+    ``At`` and ``Live`` sub-formulas are not supported here: the DNF is
+    only needed for local ``wait``/guard formulas and for the semantics'
+    read-event decomposition, both of which are local by construction.
+    Contradictory clauses (containing ``P`` and ``!P``) are dropped and
+    subsumed clauses removed, yielding a canonical-ish form suitable for
+    equality testing in tests.
+    """
+    nnf = _to_nnf(f, positive=True)
+    clauses = _dnf_clauses(nnf)
+    cleaned = set()
+    for c in clauses:
+        keys = {}
+        contradictory = False
+        for key, pol in c:
+            if keys.get(key, pol) != pol:
+                contradictory = True
+                break
+            keys[key] = pol
+        if not contradictory:
+            cleaned.add(frozenset(c))
+    # Remove subsumed clauses: drop c if a strict subset c' exists.
+    minimal = {
+        c
+        for c in cleaned
+        if not any(other < c for other in cleaned)
+    }
+    return frozenset(minimal)
+
+
+def _to_nnf(f: Formula, positive: bool) -> Formula:
+    """Push negations to the literals."""
+    if isinstance(f, FalseF):
+        return f if positive else TRUE
+    if isinstance(f, Prop):
+        return f if positive else Not(f)
+    if isinstance(f, Not):
+        return _to_nnf(f.operand, not positive)
+    if isinstance(f, And):
+        l = _to_nnf(f.left, positive)
+        r = _to_nnf(f.right, positive)
+        return And(l, r) if positive else Or(l, r)
+    if isinstance(f, Or):
+        l = _to_nnf(f.left, positive)
+        r = _to_nnf(f.right, positive)
+        return Or(l, r) if positive else And(l, r)
+    if isinstance(f, Implies):
+        return _to_nnf(Or(Not(f.left), f.right), positive)
+    raise TypeError(f"to_dnf does not support {type(f).__name__} nodes")
+
+
+def _dnf_clauses(f: Formula) -> set[frozenset]:
+    """Clauses of an NNF formula (Not(Not(FalseF)) patterns resolved)."""
+    if isinstance(f, FalseF):
+        return set()
+    if isinstance(f, Not) and isinstance(f.operand, FalseF):
+        return {frozenset()}
+    if isinstance(f, Prop):
+        return {frozenset({(f.key(), True)})}
+    if isinstance(f, Not) and isinstance(f.operand, Prop):
+        return {frozenset({(f.operand.key(), False)})}
+    if isinstance(f, Or):
+        return _dnf_clauses(f.left) | _dnf_clauses(f.right)
+    if isinstance(f, And):
+        left = _dnf_clauses(f.left)
+        right = _dnf_clauses(f.right)
+        return {lc | rc for lc in left for rc in right}
+    raise TypeError(f"formula not in NNF: {f!r}")
+
+
+def dnf_to_formula(dnf: DNF) -> Formula:
+    """Rebuild a formula from its DNF (for testing equivalences)."""
+    if not dnf:
+        return FalseF()
+    clause_fs = []
+    for clause in sorted(dnf, key=lambda c: sorted(c)):
+        if not clause:
+            return TRUE
+        lits = [
+            Prop(key) if pol else Not(Prop(key))
+            for key, pol in sorted(clause)
+        ]
+        g = lits[0]
+        for lit in lits[1:]:
+            g = And(g, lit)
+        clause_fs.append(g)
+    f = clause_fs[0]
+    for g in clause_fs[1:]:
+        f = Or(f, g)
+    return f

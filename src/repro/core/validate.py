@@ -1,0 +1,251 @@
+"""Well-formedness checks for C-Saw programs.
+
+The paper states several validity constraints (secs. 4 and 6):
+
+* ``case`` expressions cannot be empty or contain only an ``otherwise``
+  branch, and ``next`` cannot be used immediately before ``otherwise``
+  (i.e. on the final non-otherwise arm).
+* Host blocks (``⌊.⌉``) are not allowed inside transactions ``⟨|.|⟩``
+  since rollback is undefined for them.
+* Junctions cannot ``write`` data to themselves, and ``assert [j] P``
+  is rejected when ``j`` is the containing junction (communication to
+  self, sec. 6).
+* Neither indices nor sets may be serialized or transmitted between
+  junctions (``write`` of a set/subset/idx name is an error).
+* Definitions must be given the right number of parameters (checked at
+  expansion for functions; here for ``start``).
+* Instances must name declared instance types; junction definitions
+  must belong to declared types.
+
+Two entry points:
+
+* :func:`validate_program` — static checks on a parsed program.
+* :func:`validate_closed_junction` — checks on a specialized junction
+  body (names resolved, templates unrolled) before interpretation.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from .errors import ValidationError
+from .formula import At, Formula, Live, Prop
+
+
+def validate_program(program: A.Program) -> None:
+    """Static validation of a parsed (unexpanded) program."""
+    types = set(program.instance_types)
+    if len(program.instance_types) != len(types):
+        raise ValidationError("duplicate instance type names")
+
+    inst_names = [n for n, _ in program.instances]
+    if len(inst_names) != len(set(inst_names)):
+        raise ValidationError("duplicate instance names")
+    for name, tname in program.instances:
+        if tname not in types:
+            raise ValidationError(f"instance {name!r} has undeclared type {tname!r}")
+
+    seen_defs = set()
+    for d in program.defs:
+        if d.type_name not in types:
+            raise ValidationError(f"junction {d.qualified!r} belongs to undeclared type {d.type_name!r}")
+        if d.qualified in seen_defs:
+            raise ValidationError(f"duplicate junction definition {d.qualified!r}")
+        seen_defs.add(d.qualified)
+        _validate_decls(d.decls, where=d.qualified)
+        _validate_expr(d.body, where=d.qualified, in_transaction=False, own=d)
+
+    fn_names = set()
+    for fn in program.functions:
+        if fn.name in fn_names:
+            raise ValidationError(f"duplicate function {fn.name!r}")
+        fn_names.add(fn.name)
+        _validate_expr(fn.body, where=fn.name, in_transaction=False, own=None)
+
+    if program.main is not None:
+        _validate_expr(program.main.body, where="main", in_transaction=False, own=None)
+        if not any(isinstance(e, A.Start) for e in A.walk(program.main.body)):
+            raise ValidationError("main must start at least one instance")
+
+
+def _validate_decls(decls: tuple[A.Decl, ...], where: str) -> None:
+    declared: set[str] = set()
+    guards = 0
+    for d in decls:
+        if isinstance(d, (A.InitProp, A.InitData, A.SetDecl, A.SubsetDecl, A.IdxDecl)):
+            name = d.name
+            if isinstance(d, A.InitProp) and d.index is not None:
+                continue  # indexed init: many keys under one family name
+            if name in declared:
+                raise ValidationError(f"{where}: duplicate declaration of {name!r}")
+            declared.add(name)
+        elif isinstance(d, A.Guard):
+            guards += 1
+            if guards > 1:
+                raise ValidationError(f"{where}: more than one guard declaration")
+        elif isinstance(d, A.ForInit):
+            pass  # family declarations may share names across vars
+        else:
+            raise ValidationError(f"{where}: unknown declaration {d!r}")
+
+
+def _is_self_ref(target: object, own: A.JunctionDef | None) -> bool:
+    if not isinstance(target, A.Ref):
+        return False
+    if target.parts == ("me", "junction"):
+        return True
+    if own is not None and target.parts == (own.type_name, own.junction):
+        return True
+    return False
+
+
+def _validate_expr(e: A.Expr, where: str, in_transaction: bool, own: A.JunctionDef | None) -> None:
+    if isinstance(e, A.HostBlock):
+        if in_transaction:
+            raise ValidationError(
+                f"{where}: host block {e.name!r} inside a transaction (rollback undefined for host code)"
+            )
+        return
+    if isinstance(e, A.Write):
+        if _is_self_ref(e.target, own):
+            raise ValidationError(f"{where}: write to self is redundant and not allowed")
+        return
+    if isinstance(e, (A.Assert, A.Retract)):
+        if _is_self_ref(e.target, own):
+            kind = "assert" if isinstance(e, A.Assert) else "retract"
+            raise ValidationError(
+                f"{where}: {kind} [{e.target}] names the containing junction; use the local form '[]'"
+            )
+        return
+    if isinstance(e, A.Case):
+        real_arms = [a for a in e.arms]
+        if not real_arms:
+            raise ValidationError(f"{where}: case must contain at least one non-otherwise arm")
+        for i, arm in enumerate(real_arms):
+            inner = arm.arm if isinstance(arm, A.ForArm) else arm
+            if inner.terminator not in ("break", "next", "reconsider"):
+                raise ValidationError(f"{where}: invalid case terminator {inner.terminator!r}")
+            is_last = i == len(real_arms) - 1
+            if is_last and inner.terminator == "next" and not isinstance(arm, A.ForArm):
+                raise ValidationError(
+                    f"{where}: 'next' cannot be used immediately before 'otherwise'"
+                )
+            _validate_expr(inner.body, where, in_transaction, own)
+        _validate_expr(e.otherwise, where, in_transaction, own)
+        return
+    if isinstance(e, A.Transaction):
+        _validate_expr(e.body, where, True, own)
+        return
+    if isinstance(e, A.Start):
+        names = [j for j, _ in e.junction_args]
+        anon = [j for j in names if j is None]
+        if anon and len(names) > 1:
+            raise ValidationError(
+                f"{where}: start {e.instance} mixes anonymous and named argument groups"
+            )
+        if len([j for j in names if j is not None]) != len(set(j for j in names if j is not None)):
+            raise ValidationError(f"{where}: start {e.instance} repeats a junction name")
+        return
+    for c in A.children(e):
+        _validate_expr(c, where, in_transaction, own)
+
+
+# ---------------------------------------------------------------------------
+# Closed-junction validation (post-specialization)
+# ---------------------------------------------------------------------------
+
+def collect_declared(decls: tuple[A.Decl, ...]) -> dict[str, set[str]]:
+    """Partition declared names by kind: props (flat keys and family
+    names), data, sets, subsets, idx."""
+    out = {"prop": set(), "data": set(), "set": set(), "subset": set(), "idx": set()}
+    for d in decls:
+        if isinstance(d, A.InitProp):
+            out["prop"].add(d.key())
+            out["prop"].add(d.name)
+        elif isinstance(d, A.InitData):
+            out["data"].add(d.name)
+        elif isinstance(d, A.SetDecl):
+            out["set"].add(d.name)
+        elif isinstance(d, A.SubsetDecl):
+            out["subset"].add(d.name)
+        elif isinstance(d, A.IdxDecl):
+            out["idx"].add(d.name)
+    return out
+
+
+def validate_closed_junction(
+    qualified: str,
+    decls: tuple[A.Decl, ...],
+    body: A.Expr,
+    params: tuple[str, ...] = (),
+) -> None:
+    """Validate a specialized junction: names used by statements must be
+    declared, sets/indices must not be transmitted, and host writes must
+    target declared writable state."""
+    declared = collect_declared(decls)
+    data = declared["data"]
+    props = declared["prop"]
+    unserializable = declared["set"] | declared["subset"] | declared["idx"]
+    writable_by_host = data | props | declared["subset"] | declared["idx"]
+    params_set = set(params)
+
+    for e in A.walk(body):
+        if isinstance(e, A.Write):
+            if e.name in unserializable:
+                raise ValidationError(
+                    f"{qualified}: sets and indices must not be transmitted (write({e.name}, ...))"
+                )
+            if e.name not in data:
+                raise ValidationError(f"{qualified}: write of undeclared data {e.name!r}")
+        elif isinstance(e, A.Save):
+            if e.name not in data:
+                raise ValidationError(f"{qualified}: save into undeclared data {e.name!r}")
+        elif isinstance(e, A.Restore):
+            if e.name in params_set:
+                raise ValidationError(
+                    f"{qualified}: parameters are read-only and cannot be restored"
+                )
+            if e.name not in data:
+                raise ValidationError(f"{qualified}: restore of undeclared data {e.name!r}")
+        elif isinstance(e, A.Wait):
+            for k in e.keys:
+                if k not in data:
+                    raise ValidationError(f"{qualified}: wait admits undeclared data {k!r}")
+            _check_local_props(qualified, e.formula, props)
+        elif isinstance(e, (A.Assert, A.Retract)):
+            if isinstance(e.target, A.SelfTarget) and e.prop not in props:
+                raise ValidationError(
+                    f"{qualified}: {'assert' if isinstance(e, A.Assert) else 'retract'} of undeclared proposition {e.prop!r}"
+                )
+        elif isinstance(e, A.HostBlock):
+            for w in e.writes:
+                if w not in writable_by_host:
+                    raise ValidationError(
+                        f"{qualified}: host block {e.name!r} declares write to unknown state {w!r}"
+                    )
+        elif isinstance(e, A.Keep):
+            for k in e.keys:
+                if k not in data and k not in props:
+                    raise ValidationError(f"{qualified}: keep of undeclared key {k!r}")
+
+
+def _check_local_props(qualified: str, f: Formula, props: set[str]) -> None:
+    for p in _local_props(f):
+        if p.key() not in props and p.name not in props:
+            raise ValidationError(
+                f"{qualified}: wait formula references undeclared proposition {p.key()!r}"
+            )
+
+
+def _local_props(f: Formula):
+    """Prop nodes of ``f`` outside any ``@`` scope."""
+    from .formula import And, Implies, Not, Or
+
+    if isinstance(f, Prop):
+        yield f
+    elif isinstance(f, (At, Live)):
+        return
+    elif isinstance(f, Not):
+        yield from _local_props(f.operand)
+    elif isinstance(f, (And, Or, Implies)):
+        yield from _local_props(f.left)
+        yield from _local_props(f.right)

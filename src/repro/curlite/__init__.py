@@ -1,0 +1,18 @@
+"""curlite — a mini data-transfer client standing in for cURL."""
+
+from .client import AuditHook, TransferClient, TransferResult, TransferState
+from .fileserver import FileServer, LinkModel, STANDARD_SIZES, size_name
+from .workload import SweepResult, run_sweep
+
+__all__ = [
+    "AuditHook",
+    "FileServer",
+    "LinkModel",
+    "STANDARD_SIZES",
+    "SweepResult",
+    "TransferClient",
+    "TransferResult",
+    "TransferState",
+    "run_sweep",
+    "size_name",
+]

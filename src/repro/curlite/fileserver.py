@@ -1,0 +1,79 @@
+"""A file server with a link model (the download peer for curlite).
+
+Models the paper's testbed: "downloading differently-sized files from a
+dedicated machine, over 1GbE links" (sec. 10.3).  Transfer time is
+``rtt + size / bandwidth`` plus a small per-request server cost; the
+client chunks transfers so progress (and audit hooks) occur during the
+download.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A network path: bandwidth in bytes/second plus round-trip time."""
+
+    bandwidth: float = 125_000_000.0  # 1 GbE ≈ 125 MB/s
+    rtt: float = 0.4e-3               # LAN round trip
+
+    def transfer_time(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth
+
+
+class FileServer:
+    """Serves named files of declared sizes.
+
+    ``request_cost`` models the fixed per-invocation overhead of a real
+    cURL run (process spawn, DNS, TCP/TLS handshake) — dominant for
+    small files, which is why the paper's Fig. 25a shows ~10 ms
+    downloads even at 1 KB."""
+
+    def __init__(self, link: LinkModel | None = None, request_cost: float = 12e-3):
+        self.link = link or LinkModel()
+        self.request_cost = request_cost
+        self._files: dict[str, int] = {}
+
+    def put(self, name: str, size: int) -> None:
+        if size < 0:
+            raise ValueError("file size must be non-negative")
+        self._files[name] = size
+
+    def put_standard_corpus(self) -> None:
+        """The paper's file-size sweep: 1 KB … 1200 MB."""
+        for size in STANDARD_SIZES:
+            self.put(size_name(size), size)
+
+    def size_of(self, name: str) -> int:
+        if name not in self._files:
+            raise KeyError(f"no file {name!r}")
+        return self._files[name]
+
+    def files(self) -> dict[str, int]:
+        return dict(self._files)
+
+
+#: sizes used by Figs. 25a/25b (small) and 26a (large), in bytes
+STANDARD_SIZES = (
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    400_000_000,
+    700_000_000,
+    1_200_000_000,
+)
+
+
+def size_name(size: int) -> str:
+    if size >= 1_000_000:
+        return f"file-{size // 1_000_000}MB"
+    if size >= 1_000:
+        return f"file-{size // 1_000}KB"
+    return f"file-{size}B"

@@ -1,0 +1,89 @@
+"""Transfer workloads: the paper's file-size sweeps with repetitions.
+
+Runs a set of downloads (serially, as the paper's experiments do) and
+collects per-size timing statistics, including the mean and standard
+deviation the figures report (experiments "repeated 20 times and
+averaged ... reported with their standard deviation").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..runtime.sim import Simulator
+from .client import AuditHook, TransferClient, TransferResult
+from .fileserver import FileServer, size_name
+
+
+@dataclass
+class SweepResult:
+    """Per-(size, config) timing samples."""
+
+    samples: dict[tuple[int, str], list[float]] = field(default_factory=dict)
+
+    def add(self, size: int, config: str, elapsed: float) -> None:
+        self.samples.setdefault((size, config), []).append(elapsed)
+
+    def mean(self, size: int, config: str) -> float:
+        xs = self.samples[(size, config)]
+        return sum(xs) / len(xs)
+
+    def stdev(self, size: int, config: str) -> float:
+        xs = self.samples[(size, config)]
+        m = self.mean(size, config)
+        if len(xs) < 2:
+            return 0.0
+        return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+    def overhead_percent(self, size: int, config: str, baseline: str = "original") -> float:
+        base = self.mean(size, baseline)
+        return 100.0 * (self.mean(size, config) - base) / base if base else float("nan")
+
+    def sizes(self) -> list[int]:
+        return sorted({s for (s, _c) in self.samples})
+
+    def configs(self) -> list[str]:
+        return sorted({c for (_s, c) in self.samples})
+
+
+def run_sweep(
+    sim: Simulator,
+    server: FileServer,
+    sizes: list[int],
+    configs: dict[str, tuple[str, AuditHook | None]],
+    *,
+    repetitions: int = 5,
+    client_factory: Callable[[], TransferClient] | None = None,
+) -> SweepResult:
+    """Serially download each size under each configuration.
+
+    ``configs`` maps a config label to ``(audit_mode, audit_hook)``;
+    e.g. ``{"original": ("none", None), "same-vm": ("continuous", hook)}``.
+    """
+    result = SweepResult()
+    client = client_factory() if client_factory else TransferClient(sim, server)
+
+    pending: list[tuple[int, str]] = [
+        (size, label)
+        for _rep in range(repetitions)
+        for size in sizes
+        for label in configs
+    ]
+
+    def run_next():
+        if not pending:
+            return
+        size, label = pending.pop(0)
+        mode, hook = configs[label]
+
+        def done(res: TransferResult):
+            result.add(size, label, res.elapsed)
+            run_next()
+
+        client.download(size_name(size), done, audit=hook, audit_mode=mode)
+
+    run_next()
+    sim.run()
+    return result

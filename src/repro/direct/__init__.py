@@ -1,0 +1,25 @@
+"""Direct (non-DSL) re-architecting — the Table 2 control arm.
+
+These modules implement checkpointing, sharding and caching straight
+against the substrate APIs with a hand-rolled messaging layer, to
+measure the effort the DSL saves.  They are real, tested
+implementations — the paper developed its ``Redis(C)`` control "without
+knowledge of the DSL, as a control experiment".
+"""
+
+from .caching import DirectCachedRedis
+from .checkpointing import DirectCheckpointManager
+from .messaging import Endpoint, Envelope, MessageBus
+from .schemas import redis_entry_schema, suricata_packet_schema
+from .sharding import DirectShardedRedis
+
+__all__ = [
+    "DirectCachedRedis",
+    "DirectCheckpointManager",
+    "DirectShardedRedis",
+    "Endpoint",
+    "Envelope",
+    "MessageBus",
+    "redis_entry_schema",
+    "suricata_packet_schema",
+]

@@ -1,0 +1,23 @@
+"""redislite — a mini single-threaded Redis standing in for Redis v2.0.2."""
+
+from .bench import BenchDriver, BenchResults, DirectPort, RequestPort
+from .server import Command, CostModel, RedisServer, Reply
+from .store import DataStore, WrongTypeError
+from .workload import SIZE_CLASSES, WorkloadConfig, WorkloadGenerator, djb2
+
+__all__ = [
+    "BenchDriver",
+    "BenchResults",
+    "Command",
+    "CostModel",
+    "DataStore",
+    "DirectPort",
+    "RedisServer",
+    "Reply",
+    "RequestPort",
+    "SIZE_CLASSES",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WrongTypeError",
+    "djb2",
+]

@@ -1,0 +1,106 @@
+"""The redislite server: command execution with a service-time model.
+
+A :class:`RedisServer` is the application object C-Saw instances wrap.
+It executes :class:`Command` objects against a :class:`DataStore` and
+reports how much simulated CPU time each command costs, so host blocks
+can call ``ctx.take(cost)`` and the discrete-event simulator reproduces
+throughput behaviour (checkpoint stalls, cache gains, shard balance).
+
+The cost model is deliberately simple and documented: a fixed
+per-command dispatch cost plus a per-byte payload cost, and a
+checkpoint cost proportional to dataset size — enough to reproduce the
+*shapes* of the paper's Figs. 23, 25c and 26 without pretending to be
+cycle-accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .store import DataStore
+
+
+@dataclass(frozen=True)
+class Command:
+    """A client command.  ``op`` in {GET, SET, DEL, INCR, APPEND, EXISTS}."""
+
+    op: str
+    key: str
+    value: bytes = b""
+
+    def payload_size(self) -> int:
+        return len(self.value)
+
+
+@dataclass(frozen=True)
+class Reply:
+    ok: bool
+    value: bytes | None = None
+    hit: bool | None = None
+
+
+@dataclass
+class CostModel:
+    """Simulated CPU costs (seconds)."""
+
+    per_command: float = 100e-6       # dispatch + parse + respond
+    per_byte: float = 0.002e-6        # payload handling
+    checkpoint_base: float = 0.050    # fork + metadata
+    checkpoint_per_key: float = 4e-6  # serialize one entry
+    restore_base: float = 0.080
+    restore_per_key: float = 5e-6
+
+
+class RedisServer:
+    """A single-threaded redislite server."""
+
+    def __init__(self, name: str = "redis", cost: CostModel | None = None):
+        self.name = name
+        self.store = DataStore()
+        self.cost = cost or CostModel()
+        self.commands_executed = 0
+
+    # -- command execution ---------------------------------------------------
+
+    def execute(self, cmd: Command, now: float = 0.0) -> tuple[Reply, float]:
+        """Execute ``cmd``; returns (reply, simulated CPU cost)."""
+        self.commands_executed += 1
+        cost = self.cost.per_command + cmd.payload_size() * self.cost.per_byte
+        op = cmd.op.upper()
+        if op == "GET":
+            v = self.store.get(cmd.key, now)
+            if v is not None:
+                cost += len(v) * self.cost.per_byte
+            return Reply(ok=True, value=v, hit=v is not None), cost
+        if op == "SET":
+            self.store.set(cmd.key, cmd.value, now)
+            return Reply(ok=True), cost
+        if op == "DEL":
+            found = self.store.delete(cmd.key, now)
+            return Reply(ok=True, hit=found), cost
+        if op == "INCR":
+            n = self.store.incr(cmd.key, now)
+            return Reply(ok=True, value=str(n).encode()), cost
+        if op == "APPEND":
+            n = self.store.append(cmd.key, cmd.value, now)
+            return Reply(ok=True, value=str(n).encode()), cost
+        if op == "EXISTS":
+            return Reply(ok=True, hit=self.store.exists(cmd.key, now)), cost
+        return Reply(ok=False), cost
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def checkpoint(self) -> tuple[dict, float]:
+        """Snapshot the full server state; returns (snapshot, stall cost).
+
+        Redis is single-threaded: while the snapshot is serialized the
+        server processes nothing — the stall is what produces the dips
+        of Fig. 23a / Fig. 24a.
+        """
+        snap = self.store.snapshot()
+        cost = self.cost.checkpoint_base + self.store.size() * self.cost.checkpoint_per_key
+        return {"name": self.name, "store": snap}, cost
+
+    def restore(self, snap: dict) -> float:
+        self.store.restore(snap["store"])
+        return self.cost.restore_base + self.store.size() * self.cost.restore_per_key

@@ -1,0 +1,153 @@
+"""The redislite data store: a faithful-enough single-threaded KV core.
+
+Models the parts of Redis the paper's experiments exercise: string
+GET/SET/DEL/EXISTS/INCR/APPEND, key expiry, keyspace iteration, rough
+memory accounting (used by object-size sharding), and full-state
+snapshot/restore (the substrate for checkpointing/replication
+architectures).
+
+Values are ``bytes``.  The store is deliberately synchronous and
+single-threaded, matching Redis's execution model — concurrency and
+distribution come from the architecture wrapped around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class WrongTypeError(Exception):
+    """Operation applied to a value of the wrong kind."""
+
+
+@dataclass
+class Entry:
+    value: bytes
+    expires_at: float | None = None
+
+
+class DataStore:
+    """A single Redis-like keyspace."""
+
+    #: fixed per-entry overhead charged by the memory accountant
+    ENTRY_OVERHEAD = 64
+
+    def __init__(self):
+        self._data: dict[str, Entry] = {}
+        self._memory = 0
+        self.stats = {"hits": 0, "misses": 0, "expired": 0, "sets": 0, "dels": 0}
+
+    # -- internals ----------------------------------------------------------
+
+    def _charge(self, key: str, new: bytes | None, old: bytes | None) -> None:
+        if old is not None:
+            self._memory -= len(old) + len(key) + self.ENTRY_OVERHEAD
+        if new is not None:
+            self._memory += len(new) + len(key) + self.ENTRY_OVERHEAD
+
+    def _live(self, key: str, now: float) -> Entry | None:
+        e = self._data.get(key)
+        if e is None:
+            return None
+        if e.expires_at is not None and now >= e.expires_at:
+            self._charge(key, None, e.value)
+            del self._data[key]
+            self.stats["expired"] += 1
+            return None
+        return e
+
+    # -- commands --------------------------------------------------------------
+
+    def get(self, key: str, now: float = 0.0) -> bytes | None:
+        e = self._live(key, now)
+        if e is None:
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return e.value
+
+    def set(self, key: str, value: bytes, now: float = 0.0, ttl: float | None = None) -> None:
+        if not isinstance(value, bytes):
+            raise WrongTypeError("values must be bytes")
+        old = self._data.get(key)
+        self._charge(key, value, old.value if old else None)
+        self._data[key] = Entry(value, (now + ttl) if ttl is not None else None)
+        self.stats["sets"] += 1
+
+    def delete(self, key: str, now: float = 0.0) -> bool:
+        e = self._live(key, now)
+        if e is None:
+            return False
+        self._charge(key, None, e.value)
+        del self._data[key]
+        self.stats["dels"] += 1
+        return True
+
+    def exists(self, key: str, now: float = 0.0) -> bool:
+        return self._live(key, now) is not None
+
+    def incr(self, key: str, now: float = 0.0, by: int = 1) -> int:
+        e = self._live(key, now)
+        if e is None:
+            n = by
+        else:
+            try:
+                n = int(e.value) + by
+            except ValueError as exc:
+                raise WrongTypeError("value is not an integer") from exc
+        self.set(key, str(n).encode(), now)
+        return n
+
+    def append(self, key: str, suffix: bytes, now: float = 0.0) -> int:
+        e = self._live(key, now)
+        value = (e.value if e else b"") + suffix
+        self.set(key, value, now)
+        return len(value)
+
+    def expire(self, key: str, ttl: float, now: float = 0.0) -> bool:
+        e = self._live(key, now)
+        if e is None:
+            return False
+        e.expires_at = now + ttl
+        return True
+
+    def keys(self, now: float = 0.0) -> Iterator[str]:
+        for k in list(self._data):
+            if self._live(k, now) is not None:
+                yield k
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def object_size(self, key: str, now: float = 0.0) -> int | None:
+        """Approximate stored size of ``key`` (for size-aware sharding)."""
+        e = self._live(key, now)
+        if e is None:
+            return None
+        return len(e.value)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._memory
+
+    def flush(self) -> None:
+        self._data.clear()
+        self._memory = 0
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A serializable full-state snapshot."""
+        return {
+            "entries": {
+                k: {"value": e.value, "expires_at": e.expires_at}
+                for k, e in self._data.items()
+            }
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.flush()
+        for k, rec in snap["entries"].items():
+            self._charge(k, rec["value"], None)
+            self._data[k] = Entry(rec["value"], rec["expires_at"])

@@ -1,0 +1,121 @@
+"""Workload generators in the spirit of ``redis-benchmark``.
+
+Provides deterministic (seeded) request streams with configurable:
+
+* operation mix (GET/SET ratios; redis-benchmark's default exercises
+  both),
+* key popularity — uniform, or the paper's read-heavy skew where "90%
+  of requests are directed at 10% of the entries" (sec. 10.1 Caching),
+* value sizes — fixed, or the three-class mix used by object-size
+  sharding (0–4 KB, 4–64 KB, >64 KB; sec. 5.2),
+* uneven key-class weighting for the sharding experiments ("uneven
+  workloads place different pressure on different back-ends").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from .server import Command
+
+#: the paper's object-size quantization boundaries (bytes)
+SIZE_CLASSES = ((0, 4096), (4096, 65536), (65536, 262144))
+
+
+def djb2(s: str) -> int:
+    """The djb2 hash, as used for key-based sharding (sec. 10.1)."""
+    h = 5381
+    for ch in s.encode():
+        h = ((h * 33) + ch) & 0xFFFFFFFF
+    return h
+
+
+@dataclass
+class WorkloadConfig:
+    n_keys: int = 1000
+    get_ratio: float = 0.5
+    #: None = uniform; otherwise (hot_fraction, hot_weight): e.g.
+    #: (0.1, 0.9) sends 90% of requests to 10% of keys.
+    skew: tuple[float, float] | None = None
+    value_size: int = 64
+    #: optional per-key-size-class mix: weights for SIZE_CLASSES
+    size_class_weights: tuple[float, ...] | None = None
+    #: optional per-shard weighting for *uneven* workloads: maps a key's
+    #: djb2 % nshards residue to a relative weight
+    shard_weights: tuple[float, ...] | None = None
+    seed: int = 42
+
+
+class WorkloadGenerator:
+    """Deterministic request stream."""
+
+    def __init__(self, config: WorkloadConfig | None = None, **overrides):
+        cfg = config or WorkloadConfig()
+        for k, v in overrides.items():
+            if not hasattr(cfg, k):
+                raise TypeError(f"unknown workload option {k!r}")
+            setattr(cfg, k, v)
+        self.config = cfg
+        self.rng = random.Random(cfg.seed)
+        self._keys = [f"key:{i:08d}" for i in range(cfg.n_keys)]
+        self._hot_count = 0
+        if cfg.skew is not None:
+            hot_fraction, _ = cfg.skew
+            self._hot_count = max(1, int(cfg.n_keys * hot_fraction))
+        self._key_sizes: dict[str, int] = {}
+        if cfg.size_class_weights is not None:
+            for k in self._keys:
+                lo, hi = self.rng.choices(SIZE_CLASSES, weights=cfg.size_class_weights)[0]
+                self._key_sizes[k] = self.rng.randint(lo + 1, hi)
+        if cfg.shard_weights is not None:
+            n = len(cfg.shard_weights)
+            buckets: list[list[str]] = [[] for _ in range(n)]
+            for k in self._keys:
+                buckets[djb2(k) % n].append(k)
+            self._shard_buckets = buckets
+        else:
+            self._shard_buckets = None
+
+    # -- key selection -------------------------------------------------------
+
+    def pick_key(self) -> str:
+        cfg = self.config
+        if self._shard_buckets is not None:
+            weights = cfg.shard_weights
+            idx = self.rng.choices(range(len(weights)), weights=weights)[0]
+            bucket = self._shard_buckets[idx]
+            if bucket:
+                return self.rng.choice(bucket)
+            return self.rng.choice(self._keys)
+        if cfg.skew is not None:
+            _, hot_weight = cfg.skew
+            if self.rng.random() < hot_weight:
+                return self._keys[self.rng.randrange(self._hot_count)]
+            return self._keys[self.rng.randrange(self._hot_count, cfg.n_keys)]
+        return self.rng.choice(self._keys)
+
+    def value_for(self, key: str) -> bytes:
+        size = self._key_sizes.get(key, self.config.value_size)
+        return b"x" * size
+
+    def key_size(self, key: str) -> int:
+        return self._key_sizes.get(key, self.config.value_size)
+
+    # -- streams ---------------------------------------------------------------
+
+    def next_command(self) -> Command:
+        key = self.pick_key()
+        if self.rng.random() < self.config.get_ratio:
+            return Command("GET", key)
+        return Command("SET", key, self.value_for(key))
+
+    def commands(self, n: int) -> Iterator[Command]:
+        for _ in range(n):
+            yield self.next_command()
+
+    def preload_commands(self) -> Iterator[Command]:
+        """SETs for every key — warms the dataset before measuring."""
+        for k in self._keys:
+            yield Command("SET", k, self.value_for(k))

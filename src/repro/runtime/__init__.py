@@ -1,0 +1,40 @@
+"""The C-Saw runtime: a deterministic libcompart stand-in.
+
+Public surface::
+
+    from repro.runtime import System, FaultPlan
+
+    system = System(compiled_program, latency=0.05, seed=1)
+    system.bind_host("Front", "Choose", choose_fn)
+    system.bind_app("Back", lambda inst: BackendApp())
+    system.bind_state("Back", save=..., restore=...)
+    system.start(t=5.0)
+    system.run_until(120.0)
+"""
+
+from .channels import LinkConfig, Message, Network
+from .faults import FaultPlan
+from .host import HostContext
+from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime, StateProviders
+from .interpreter import JunctionExecution
+from .kvtable import KVTable, UNDEF, Update
+from .sim import Simulator
+from .system import System
+
+__all__ = [
+    "FaultPlan",
+    "HostContext",
+    "InstanceRuntime",
+    "InstanceTypeRuntime",
+    "JunctionExecution",
+    "JunctionRuntime",
+    "KVTable",
+    "LinkConfig",
+    "Message",
+    "Network",
+    "Simulator",
+    "StateProviders",
+    "System",
+    "UNDEF",
+    "Update",
+]

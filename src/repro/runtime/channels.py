@@ -1,0 +1,162 @@
+"""Channel abstractions of the libcompart stand-in.
+
+The paper's runtime (libcompart) wraps OS IPC — TCP sockets and pipes —
+into channels between instances.  Here a :class:`Network` carries
+messages between junctions over the simulator, with configurable
+per-link latency, loss and partitions, which the fault-injection API
+(:mod:`repro.runtime.faults`) manipulates during experiments.
+
+Messages are *KV updates* (write/assert/retract) plus their
+acknowledgements; the runtime layers the paper's "remote update then
+local effect on ack" protocol (sec. 8's ``Wr_{J,γ}`` pairs) on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .sim import Simulator
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message between junctions.
+
+    ``kind`` is ``'update'`` or ``'ack'``; ``payload`` carries the
+    update description (key, value, update kind) or the ack token.
+    """
+
+    src: str  # "instance::junction"
+    dst: str
+    kind: str
+    payload: object
+    msg_id: int = 0
+
+
+@dataclass
+class LinkConfig:
+    """Per-link behaviour; ``None`` fields fall back to defaults."""
+
+    latency: float | None = None
+    drop_probability: float | None = None
+
+
+class Network:
+    """Simulated message transport with latency, loss and partitions.
+
+    Endpoints register a delivery callback keyed by junction node name
+    (``"instance::junction"``).  Sending to an unregistered or
+    partitioned endpoint silently drops the message — failure surfaces
+    at the sender as a missing acknowledgement, detected by
+    ``otherwise`` deadlines, exactly as in a real deployment.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        default_latency: float = 0.05,
+        intra_latency: float = 0.0005,
+        drop_probability: float = 0.0,
+        rng=None,
+    ):
+        self.sim = sim
+        self.default_latency = default_latency
+        self.intra_latency = intra_latency
+        self.drop_probability = drop_probability
+        self._rng = rng
+        self._endpoints: dict[str, Callable[[Message], None]] = {}
+        self._links: dict[tuple[str, str], LinkConfig] = {}
+        self._partitions: set[frozenset] = set()
+        self._down: set[str] = set()
+        self._msg_counter = 0
+        self.stats = {"sent": 0, "delivered": 0, "dropped": 0}
+
+    # -- wiring -------------------------------------------------------------
+
+    def register(self, node: str, deliver: Callable[[Message], None]) -> None:
+        self._endpoints[node] = deliver
+
+    def unregister(self, node: str) -> None:
+        self._endpoints.pop(node, None)
+
+    def configure_link(self, src: str, dst: str, config: LinkConfig) -> None:
+        """Set latency/loss for a specific directed link.  ``src`` and
+        ``dst`` are instance names (links are instance-to-instance)."""
+        self._links[(src, dst)] = config
+
+    # -- fault injection ------------------------------------------------------
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Cut connectivity between two groups of instance names."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal_partition(self) -> None:
+        self._partitions.clear()
+
+    def set_down(self, instance: str, down: bool = True) -> None:
+        """Mark an instance unreachable (crash)."""
+        if down:
+            self._down.add(instance)
+        else:
+            self._down.discard(instance)
+
+    def is_partitioned(self, inst_a: str, inst_b: str) -> bool:
+        return frozenset((inst_a, inst_b)) in self._partitions
+
+    # -- sending ----------------------------------------------------------------
+
+    @staticmethod
+    def _instance_of(node: str) -> str:
+        return node.split("::", 1)[0]
+
+    def send(self, msg: Message) -> None:
+        """Send ``msg``; delivery is scheduled on the simulator."""
+        self.stats["sent"] += 1
+        src_inst = self._instance_of(msg.src)
+        dst_inst = self._instance_of(msg.dst)
+
+        if (
+            dst_inst in self._down
+            or src_inst in self._down
+            or self.is_partitioned(src_inst, dst_inst)
+        ):
+            self.stats["dropped"] += 1
+            return
+
+        link = self._links.get((src_inst, dst_inst))
+        latency = self.intra_latency if src_inst == dst_inst else self.default_latency
+        drop_p = self.drop_probability
+        if link is not None:
+            if link.latency is not None:
+                latency = link.latency
+            if link.drop_probability is not None:
+                drop_p = link.drop_probability
+        if drop_p > 0.0 and self._rng is not None and self._rng.random() < drop_p:
+            self.stats["dropped"] += 1
+            return
+
+        def deliver():
+            # Re-check reachability at delivery time: a crash or
+            # partition during flight loses the message.
+            if (
+                dst_inst in self._down
+                or self.is_partitioned(src_inst, dst_inst)
+            ):
+                self.stats["dropped"] += 1
+                return
+            handler = self._endpoints.get(msg.dst)
+            if handler is None:
+                self.stats["dropped"] += 1
+                return
+            self.stats["delivered"] += 1
+            handler(msg)
+
+        self.sim.call_after(latency, deliver)
+
+    def next_msg_id(self) -> int:
+        self._msg_counter += 1
+        return self._msg_counter

@@ -1,0 +1,61 @@
+"""Fault injection for experiments and tests.
+
+Wraps the :class:`~repro.runtime.system.System` fault surface into a
+single object with scheduling helpers, so experiment scripts read like
+fault timelines::
+
+    faults = FaultPlan(system)
+    faults.crash_at(60.0, "bck1")
+    faults.restart_at(62.0, "bck1")
+    faults.partition_between(30.0, 40.0, {"f"}, {"bck2"})
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import System
+
+
+class FaultPlan:
+    """Schedules fault events on a system's simulator."""
+
+    def __init__(self, system: "System"):
+        self.system = system
+        self.injected: list[tuple[float, str, str]] = []
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.injected.append((self.system.sim.now, kind, detail))
+
+    # -- immediate ----------------------------------------------------------
+
+    def crash(self, instance: str) -> None:
+        self.system.crash_instance(instance)
+        self._log("crash", instance)
+
+    def restart(self, instance: str, reinit: bool = True) -> None:
+        self.system.restart_instance(instance, reinit=reinit)
+        self._log("restart", instance)
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        self.system.network.partition(group_a, group_b)
+        self._log("partition", f"{sorted(group_a)}|{sorted(group_b)}")
+
+    def heal(self) -> None:
+        self.system.network.heal_partition()
+        self._log("heal", "")
+
+    # -- scheduled -----------------------------------------------------------
+
+    def crash_at(self, time: float, instance: str) -> None:
+        self.system.sim.call_at(time, lambda: self.crash(instance))
+
+    def restart_at(self, time: float, instance: str, reinit: bool = True) -> None:
+        self.system.sim.call_at(time, lambda: self.restart(instance, reinit))
+
+    def partition_between(
+        self, start: float, end: float, group_a: set[str], group_b: set[str]
+    ) -> None:
+        self.system.sim.call_at(start, lambda: self.partition(group_a, group_b))
+        self.system.sim.call_at(end, lambda: self.heal())

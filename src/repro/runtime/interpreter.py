@@ -1,0 +1,770 @@
+"""The DSL interpreter: executes specialized junction bodies.
+
+One *scheduling* of a junction creates a :class:`JunctionExecution`,
+which runs the junction's expression tree as a set of cooperating
+*strands* (micro-threads implemented as Python generators).  Strands
+yield :class:`Blocked` requests when they need to wait — on a formula
+(``wait``), a remote acknowledgement (``write``/``assert``/``retract``
+to another junction), simulated service time (host blocks), or child
+strands (parallel composition).  The execution cooperates with the
+discrete-event simulator: when every strand is blocked, control returns
+to the simulator, which advances time, delivers messages, and fires
+``otherwise`` deadlines.
+
+Failure semantics follow the paper:
+
+* A :class:`~repro.core.errors.DslFailure` aborts the enclosing
+  expression and propagates outward.
+* ``E1 otherwise[t] E2`` absorbs failures of ``E1`` (including a
+  deadline expiry) and runs ``E2``.  Deadlines belong to *scopes*; an
+  expired outer deadline is not absorbed by an inner handler.
+* ``<|E|>`` rolls the KV table back before re-raising.
+* ``return`` and ``retry`` are control signals, not failures; they pass
+  through ``otherwise`` untouched.
+* Remote updates apply **locally only after the acknowledgement**
+  arrives, so a failed remote update leaves the local table unchanged —
+  this is what makes the paper's retry idioms (Fig. 4) work.
+
+``case`` implements the paper's terminators: ``break`` leaves the case;
+``next`` re-matches below the succeeded arm; ``reconsider`` re-matches
+from scratch and **fails** if the same arm would run again with the
+junction's proposition state unchanged (our operationalization of "if a
+different match is made ... otherwise the expression fails").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..core import ast as A
+from ..core.errors import (
+    CommunicationFailure,
+    DslFailure,
+    HostError,
+    ReconsiderFailure,
+    RetryExhausted,
+    TimeoutFailure,
+    UndefError,
+    VerifyFailure,
+    VerifyUnknown,
+)
+from ..core.formula import UNKNOWN, Formula, evaluate, propositions
+from .channels import Message
+from .host import HostContext
+from .kvtable import UNDEF, Update
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instance import JunctionRuntime
+    from .system import System
+
+
+# ---------------------------------------------------------------------------
+# Control signals (not failures)
+# ---------------------------------------------------------------------------
+
+class ControlSignal(Exception):
+    """Non-failure control transfer; passes through ``otherwise``."""
+
+
+class ReturnSignal(ControlSignal):
+    """``return``: leave the enclosing fate scope / the junction."""
+
+
+class RetrySignal(ControlSignal):
+    """``retry``: restart the junction body (bounded)."""
+
+
+# ---------------------------------------------------------------------------
+# Strand machinery
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Blocked:
+    """A strand's parked state.
+
+    kind:
+      * ``'wait'``  — fields: formula, admits (frozenset of keys)
+      * ``'ack'``   — fields: msg_id
+      * ``'sleep'`` — fields: duration
+      * ``'join'``  — fields: children (list of Strand)
+    """
+
+    kind: str
+    formula: Optional[Formula] = None
+    admits: frozenset = frozenset()
+    msg_id: int = 0
+    duration: float = 0.0
+    children: list = field(default_factory=list)
+
+
+class _DeadlineScope:
+    __slots__ = ("strand", "deadline", "handle", "active", "scope_id")
+    _ids = itertools.count()
+
+    def __init__(self, strand: "Strand", deadline: float):
+        self.strand = strand
+        self.deadline = deadline
+        self.handle = None
+        self.active = True
+        self.scope_id = next(self._ids)
+
+
+class ScopedTimeout(TimeoutFailure):
+    """A deadline expiry carrying its originating scope, so that inner
+    ``otherwise`` handlers re-raise timeouts that belong to enclosing
+    scopes."""
+
+    def __init__(self, scope: _DeadlineScope | None = None):
+        super().__init__("otherwise deadline expired")
+        self.scope = scope
+
+
+class Strand:
+    """One sequential strand of a junction execution."""
+
+    _ids = itertools.count()
+
+    def __init__(self, gen: Generator, parent: "Strand | None" = None):
+        self.id = next(self._ids)
+        self.gen = gen
+        self.parent = parent
+        self.state = "ready"  # ready|blocked|done|failed|cancelled
+        self.block: Blocked | None = None
+        self.exc: BaseException | None = None
+        self.pending_throw: BaseException | None = None
+        self.window = None  # open KV wait window, if any
+        self.sleep_handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Strand {self.id} {self.state}>"
+
+
+class _TxScope:
+    """An open transaction: owner strand + undo log.
+
+    The undo log records (key, previous value) for the *first* local
+    write to each key made by the owner strand or any of its
+    descendants while the scope is open.  Rolling back restores those
+    values in reverse order — this makes ``<|E|>`` compose correctly
+    with parallel strands (a sibling's transaction failure must not
+    wipe our writes, which a whole-table snapshot would)."""
+
+    __slots__ = ("owner", "log", "seen", "active")
+
+    def __init__(self, owner: "Strand"):
+        self.owner = owner
+        self.log: list[tuple[str, object]] = []
+        self.seen: set[str] = set()
+        self.active = True
+
+
+def _is_self_or_ancestor(candidate: "Strand", strand: "Strand | None") -> bool:
+    while strand is not None:
+        if strand is candidate:
+            return True
+        strand = strand.parent
+    return False
+
+
+class JunctionExecution:
+    """One scheduling of a junction."""
+
+    def __init__(self, system: "System", jr: "JunctionRuntime"):
+        self.system = system
+        self.jr = jr
+        self.table = jr.table
+        self.root: Strand | None = None
+        self.strands: dict[int, Strand] = {}
+        self.ready: list[Strand] = []
+        self.awaiting_acks: dict[int, Strand] = {}
+        self.finished = False
+        self.outcome: str | None = None  # 'ok' | 'failed' | 'cancelled'
+        self.failure: BaseException | None = None
+        self._pump_scheduled = False
+        self._current: Strand | None = None
+        self._retry_budget = system.max_retries
+        self.active_txs: list[_TxScope] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.table.executing = True
+        self.table.on_local_write = self._on_local_write
+        self.jr.status = "running"
+        self.jr.sched_count += 1
+        self.system.trace("sched", self.jr.node)
+        self.root = self._spawn(self._root_gen(), parent=None)
+        self._pump()
+
+    def _on_local_write(self, key: str, old: object) -> None:
+        cur = self._current
+        for tx in self.active_txs:
+            if tx.active and key not in tx.seen and _is_self_or_ancestor(tx.owner, cur):
+                tx.log.append((key, old))
+                tx.seen.add(key)
+
+    def _root_gen(self) -> Generator:
+        attempts = 0
+        while True:
+            try:
+                yield from self.exec_expr(self.jr.body)
+                return
+            except ReturnSignal:
+                return
+            except RetrySignal:
+                attempts += 1
+                if attempts > self._retry_budget:
+                    raise RetryExhausted(
+                        f"{self.jr.node}: retry invoked more than {self._retry_budget} times"
+                    )
+                continue
+
+    def _spawn(self, gen: Generator, parent: Strand | None) -> Strand:
+        s = Strand(gen, parent)
+        self.strands[s.id] = s
+        self.ready.append(s)
+        return s
+
+    def _schedule_pump(self) -> None:
+        if self._pump_scheduled or self.finished:
+            return
+        self._pump_scheduled = True
+        self.system.sim.call_after(0.0, self._pump_cb, priority=-1)
+
+    def _pump_cb(self) -> None:
+        self._pump_scheduled = False
+        self._pump()
+
+    def _pump(self) -> None:
+        while self.ready and not self.finished:
+            strand = self.ready.pop(0)
+            if strand.state != "ready":
+                continue
+            throw = strand.pending_throw
+            strand.pending_throw = None
+            self._advance(strand, throw=throw)
+
+    # ------------------------------------------------------------------
+    # Strand stepping
+    # ------------------------------------------------------------------
+
+    def _advance(self, strand: Strand, send=None, throw: BaseException | None = None) -> None:
+        self._current = strand
+        try:
+            if throw is not None:
+                req = strand.gen.throw(throw)
+            else:
+                req = strand.gen.send(send)
+        except StopIteration:
+            self._finish_strand(strand, None)
+        except (DslFailure, ControlSignal) as exc:
+            self._finish_strand(strand, exc)
+        except Exception as exc:  # host/library bug: surface as HostError
+            wrapped = HostError(f"{self.jr.node}: internal error: {exc!r}")
+            wrapped.__cause__ = exc
+            self._finish_strand(strand, wrapped)
+        else:
+            self._handle_request(strand, req)
+        finally:
+            self._current = None
+
+    def _handle_request(self, strand: Strand, req: Blocked) -> None:
+        if req.kind == "wait":
+            # updates to the admitted keys that queued up before the
+            # window opened are reflected now (sec. 6: the wait "allows
+            # the junction's table to reflect changes" to those keys)
+            self.table.apply_pending_for(req.admits)
+            if self._formula_true(req.formula):
+                strand.state = "ready"
+                self.ready.append(strand)
+                return
+            strand.state = "blocked"
+            strand.block = req
+
+            def on_update(_key: str, s=strand, r=req):
+                if s.state == "blocked" and self._formula_true(r.formula):
+                    self._wake(s)
+
+            strand.window = self.table.open_window(req.admits, on_update)
+            return
+        if req.kind == "ack":
+            strand.state = "blocked"
+            strand.block = req
+            self.awaiting_acks[req.msg_id] = strand
+            return
+        if req.kind == "sleep":
+            strand.state = "blocked"
+            strand.block = req
+            strand.sleep_handle = self.system.sim.call_after(
+                req.duration, lambda s=strand: self._wake(s)
+            )
+            return
+        if req.kind == "join":
+            strand.state = "blocked"
+            strand.block = req
+            # children were spawned by exec side; just wait
+            return
+        raise RuntimeError(f"unknown block request {req.kind!r}")
+
+    def _wake(self, strand: Strand, throw: BaseException | None = None) -> None:
+        if strand.state != "blocked" or self.finished:
+            return
+        self._unblock_cleanup(strand)
+        if throw is not None and strand.block is not None and strand.block.kind == "join":
+            for child in strand.block.children:
+                self._cancel_subtree(child)
+        strand.block = None
+        strand.state = "ready"
+        strand.pending_throw = throw
+        self.ready.append(strand)
+        self._schedule_pump()
+
+    def _unblock_cleanup(self, strand: Strand) -> None:
+        if strand.window is not None:
+            self.table.close_window(strand.window)
+            strand.window = None
+        if strand.sleep_handle is not None:
+            strand.sleep_handle.cancel()
+            strand.sleep_handle = None
+        if strand.block is not None and strand.block.kind == "ack":
+            self.awaiting_acks.pop(strand.block.msg_id, None)
+
+    def _finish_strand(self, strand: Strand, exc: BaseException | None) -> None:
+        strand.state = "failed" if exc is not None else "done"
+        strand.exc = exc
+        self._unblock_cleanup(strand)
+        parent = strand.parent
+        if parent is None:
+            self._finish_execution(exc)
+            return
+        # parent is blocked on a join containing this strand
+        block = parent.block
+        if block is None or block.kind != "join":
+            return
+        if exc is not None:
+            for sibling in block.children:
+                if sibling is not strand:
+                    self._cancel_subtree(sibling)
+            self._wake(parent, throw=exc)
+            return
+        if all(c.state == "done" for c in block.children):
+            self._wake(parent)
+
+    def _cancel_subtree(self, strand: Strand) -> None:
+        if strand.state in ("done", "failed", "cancelled"):
+            return
+        if strand.block is not None and strand.block.kind == "join":
+            for child in strand.block.children:
+                self._cancel_subtree(child)
+        self._unblock_cleanup(strand)
+        strand.state = "cancelled"
+        try:
+            strand.gen.close()
+        except Exception:
+            pass
+
+    def _finish_execution(self, exc: BaseException | None) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.failure = exc
+        self.outcome = "ok" if exc is None else "failed"
+        for s in list(self.strands.values()):
+            if s.state in ("ready", "blocked"):
+                self._cancel_subtree(s)
+        self.table.executing = False
+        self.table.on_local_write = None
+        self.jr.status = "idle"
+        self.system.trace("unsched", self.jr.node, outcome=self.outcome, failure=exc)
+        self.system.execution_finished(self.jr, self)
+
+    def cancel(self) -> None:
+        """Abort the execution (instance crash/stop)."""
+        if self.finished:
+            return
+        self.finished = True
+        self.outcome = "cancelled"
+        for s in list(self.strands.values()):
+            self._cancel_subtree(s)
+        self.table.executing = False
+        self.table.on_local_write = None
+        self.jr.status = "idle"
+        self.system.trace("unsched", self.jr.node, outcome="cancelled", failure=None)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_ack(self, msg_id: int) -> None:
+        strand = self.awaiting_acks.pop(msg_id, None)
+        if strand is not None:
+            self._wake(strand)
+
+    # ------------------------------------------------------------------
+    # Formula evaluation
+    # ------------------------------------------------------------------
+
+    def _prop_env(self, key: str):
+        v = self.table.values.get(key, None)
+        if isinstance(v, bool):
+            return v
+        return UNKNOWN
+
+    def resolve_indices(self, f: Formula) -> Formula:
+        """Resolve proposition indices that are idx variables against
+        the table's current cursor values (``!Work[tgt]`` with
+        ``idx tgt of {...}`` — sec. 7.1's per-back-end propositions)."""
+        from ..core.formula import And, At, Implies, Not, Or, Prop
+
+        if isinstance(f, Prop) and isinstance(f.index, A.Ref):
+            idx = f.index
+            if idx.is_simple and idx.name in self.jr.idx_names:
+                v = self.table.get(idx.name)
+                if v is UNDEF:
+                    raise UndefError(f"{self.jr.node}: index {idx.name!r} is undef")
+                return Prop(f.name, str(v))
+            return f
+        if isinstance(f, Not):
+            return Not(self.resolve_indices(f.operand))
+        if isinstance(f, And):
+            return And(self.resolve_indices(f.left), self.resolve_indices(f.right))
+        if isinstance(f, Or):
+            return Or(self.resolve_indices(f.left), self.resolve_indices(f.right))
+        if isinstance(f, Implies):
+            return Implies(self.resolve_indices(f.left), self.resolve_indices(f.right))
+        if isinstance(f, At):
+            return At(f.junction, self.resolve_indices(f.body))
+        return f
+
+    def eval_formula(self, f: Formula):
+        return evaluate(
+            self.resolve_indices(f),
+            self._prop_env,
+            at=self.system.make_at_resolver(self.jr),
+            live=self.system.make_live_resolver(),
+        )
+
+    def _formula_true(self, f: Formula) -> bool:
+        return self.eval_formula(f) is True
+
+    # ------------------------------------------------------------------
+    # Argument evaluation
+    # ------------------------------------------------------------------
+
+    def eval_arg_number(self, arg: object) -> float:
+        if isinstance(arg, A.Num):
+            return arg.value
+        if isinstance(arg, A.Ref) and arg.is_simple:
+            v = self.jr.params.get(arg.name)
+            if isinstance(v, (int, float)):
+                return float(v)
+            raise DslFailure(f"{self.jr.node}: {arg} is not a numeric parameter")
+        if isinstance(arg, A.BinArith):
+            l = self.eval_arg_number(arg.left)
+            r = self.eval_arg_number(arg.right)
+            return {"+": l + r, "-": l - r, "*": l * r, "/": l / r if r else float("inf")}[arg.op]
+        raise DslFailure(f"{self.jr.node}: cannot evaluate {arg!r} as a number")
+
+    # ------------------------------------------------------------------
+    # Statement execution (generators)
+    # ------------------------------------------------------------------
+
+    def exec_expr(self, e: A.Expr) -> Generator:
+        if isinstance(e, A.Skip):
+            return
+        if isinstance(e, A.Return):
+            raise ReturnSignal()
+        if isinstance(e, A.Retry):
+            raise RetrySignal()
+        if isinstance(e, A.Seq):
+            for item in e.items:
+                yield from self.exec_expr(item)
+            return
+        if isinstance(e, A.HostBlock):
+            yield from self._exec_host(e)
+            return
+        if isinstance(e, A.Save):
+            self._exec_save(e)
+            return
+        if isinstance(e, A.Restore):
+            self._exec_restore(e)
+            return
+        if isinstance(e, A.Write):
+            yield from self._exec_write(e)
+            return
+        if isinstance(e, (A.Assert, A.Retract)):
+            yield from self._exec_assert(e, isinstance(e, A.Assert))
+            return
+        if isinstance(e, A.Keep):
+            self.table.keep(e.keys)
+            return
+        if isinstance(e, A.Wait):
+            yield from self._exec_wait(e)
+            return
+        if isinstance(e, A.Verify):
+            self._exec_verify(e)
+            return
+        if isinstance(e, A.FateBlock):
+            try:
+                yield from self.exec_expr(e.body)
+            except ReturnSignal:
+                return
+            return
+        if isinstance(e, A.Transaction):
+            yield from self._exec_transaction(e)
+            return
+        if isinstance(e, A.Otherwise):
+            yield from self._exec_otherwise(e)
+            return
+        if isinstance(e, (A.Par, A.RepPar)):
+            yield from self._exec_parallel(e.items)
+            return
+        if isinstance(e, A.Case):
+            yield from self._exec_case(e)
+            return
+        if isinstance(e, A.Start):
+            self.system.exec_start(e, self.jr)
+            return
+        if isinstance(e, A.Stop):
+            self.system.exec_stop(e, self.jr)
+            return
+        if isinstance(e, A.Call):
+            raise DslFailure(f"{self.jr.node}: unexpanded function call {e}")
+        if isinstance(e, (A.For, A.If)):
+            raise DslFailure(f"{self.jr.node}: unexpanded template {type(e).__name__}")
+        raise DslFailure(f"{self.jr.node}: cannot execute {type(e).__name__}")
+
+    # -- host ---------------------------------------------------------------
+
+    def _exec_host(self, e: A.HostBlock) -> Generator:
+        fn = self.jr.instance.type.host_fns.get(e.name)
+        if fn is None:
+            raise HostError(f"{self.jr.node}: no host binding for {e.name!r}")
+        ctx = HostContext(self.system, self.jr, e.writes)
+        try:
+            fn(ctx)
+        except DslFailure:
+            raise
+        except Exception as exc:
+            err = HostError(f"{self.jr.node}: host block {e.name!r} raised {exc!r}")
+            err.__cause__ = exc
+            raise err from exc
+        if ctx.elapsed > 0:
+            yield Blocked("sleep", duration=ctx.elapsed)
+
+    # -- save / restore ------------------------------------------------------
+
+    def _providers_for(self, name: str):
+        t = self.jr.instance.type
+        return t.data_state.get(name, t.state)
+
+    def _exec_save(self, e: A.Save) -> None:
+        prov = self._providers_for(e.name)
+        if prov.save is None:
+            raise HostError(
+                f"{self.jr.node}: no state provider registered for save({e.name})"
+            )
+        obj = prov.save(self.jr.instance.app, self.jr.instance)
+        payload = self.system.serializer.encode(prov.schema, obj)
+        self.table.set_local(e.name, payload)
+
+    def _exec_restore(self, e: A.Restore) -> None:
+        value = self.table.get(e.name)
+        if value is UNDEF:
+            raise UndefError(f"{self.jr.node}: restore({e.name}) of undef")
+        prov = self._providers_for(e.name)
+        if prov.restore is None:
+            raise HostError(
+                f"{self.jr.node}: no state provider registered for restore({e.name})"
+            )
+        obj = self.system.serializer.decode(value)
+        prov.restore(self.jr.instance.app, self.jr.instance, obj)
+
+    # -- communication ----------------------------------------------------------
+
+    def _exec_write(self, e: A.Write) -> Generator:
+        value = self.table.get(e.name)
+        if value is UNDEF:
+            raise UndefError(f"{self.jr.node}: write({e.name}) of undef")
+        target = self.system.resolve_target(e.target, self.jr)
+        yield from self._remote_update(target, e.name, value)
+
+    def _exec_assert(self, e, value: bool) -> Generator:
+        key = self._resolve_prop_key(e)
+        if isinstance(e.target, A.SelfTarget):
+            self.table.set_local(key, value)
+            return
+        target = self.system.resolve_target(e.target, self.jr)
+        yield from self._remote_update(target, key, value)
+        # local effect only after the remote update is acknowledged
+        if self.table.has(key):
+            self.table.set_local(key, value)
+
+    def _resolve_prop_key(self, e) -> str:
+        index = e.index
+        if isinstance(index, A.Ref):
+            # an index variable (idx decl) resolves through the table
+            if index.is_simple and index.name in self.jr.idx_names:
+                v = self.table.get(index.name)
+                if v is UNDEF:
+                    raise UndefError(f"{self.jr.node}: index {index.name!r} is undef")
+                return f"{e.prop}[{v}]"
+        return e.key()
+
+    def _remote_update(self, target: "JunctionRuntime", key: str, value: object) -> Generator:
+        net = self.system.network
+        msg_id = net.next_msg_id()
+        net.send(
+            Message(
+                src=self.jr.node,
+                dst=target.node,
+                kind="update",
+                payload=Update(key=key, value=value, src=self.jr.node),
+                msg_id=msg_id,
+            )
+        )
+        yield Blocked("ack", msg_id=msg_id)
+
+    # -- wait -----------------------------------------------------------------
+
+    def _exec_wait(self, e: A.Wait) -> Generator:
+        # idx cursors are resolved once, at wait entry (the cursor is a
+        # constant for the remainder of the blocked statement)
+        formula = self.resolve_indices(e.formula)
+        admits = frozenset(propositions(formula)) | frozenset(e.keys)
+        yield Blocked("wait", formula=formula, admits=admits)
+
+    # -- verify ---------------------------------------------------------------
+
+    def _exec_verify(self, e: A.Verify) -> None:
+        v = self.eval_formula(e.formula)
+        if v is UNKNOWN:
+            raise VerifyUnknown(f"{self.jr.node}: verify {e.formula} is undecidable (instance not running)")
+        if v is not True:
+            raise VerifyFailure(f"{self.jr.node}: verify {e.formula} failed")
+
+    # -- blocks -----------------------------------------------------------------
+
+    def _exec_transaction(self, e: A.Transaction) -> Generator:
+        tx = _TxScope(self._current)
+        self.active_txs.append(tx)
+
+        def rollback():
+            tx.active = False
+            for key, old in reversed(tx.log):
+                self.table.values[key] = old
+            self.active_txs.remove(tx)
+
+        def commit():
+            tx.active = False
+            self.active_txs.remove(tx)
+
+        try:
+            yield from self.exec_expr(e.body)
+        except ControlSignal:
+            commit()  # return/retry are not failures: changes persist
+            raise
+        except DslFailure:
+            rollback()
+            raise
+        except GeneratorExit:
+            rollback()
+            raise
+        else:
+            commit()
+
+    def _exec_otherwise(self, e: A.Otherwise) -> Generator:
+        strand = self._current
+        scope = None
+        if e.timeout is not None:
+            deadline = self.system.sim.now + self.eval_arg_number(e.timeout)
+            scope = _DeadlineScope(strand, deadline)
+            scope.handle = self.system.sim.call_at(deadline, lambda sc=scope: self._deadline_fired(sc))
+        try:
+            yield from self.exec_expr(e.body)
+        except DslFailure as f:
+            self._close_scope(scope)
+            if isinstance(f, ScopedTimeout) and f.scope is not scope:
+                # a deadline belonging to an *enclosing* otherwise —
+                # not ours to absorb (exceptions stay within a strand,
+                # so the scope can only be an ancestor's)
+                raise
+            yield from self.exec_expr(e.handler)
+            return
+        except BaseException:
+            self._close_scope(scope)
+            raise
+        self._close_scope(scope)
+
+    def _close_scope(self, scope: _DeadlineScope | None) -> None:
+        if scope is None:
+            return
+        scope.active = False
+        if scope.handle is not None:
+            scope.handle.cancel()
+
+    def _deadline_fired(self, scope: _DeadlineScope) -> None:
+        if not scope.active or self.finished:
+            return
+        scope.active = False
+        strand = scope.strand
+        failure = ScopedTimeout(scope)
+        if strand.state == "blocked":
+            self._wake(strand, throw=failure)
+        elif strand.state == "ready":
+            strand.pending_throw = failure
+
+    # -- parallel ----------------------------------------------------------------
+
+    def _exec_parallel(self, items) -> Generator:
+        strand = self._current
+        children = [Strand(self.exec_expr(item), parent=strand) for item in items]
+        for c in children:
+            self.strands[c.id] = c
+            self.ready.append(c)
+        yield Blocked("join", children=children)
+
+    # -- case -------------------------------------------------------------------
+
+    def _prop_snapshot(self) -> dict:
+        return {k: v for k, v in self.table.values.items() if isinstance(v, bool)}
+
+    def _exec_case(self, e: A.Case) -> Generator:
+        lower = 0
+        prev_match: int | None = None
+        prev_snapshot: dict | None = None
+        while True:
+            matched = None
+            for i in range(lower, len(e.arms)):
+                arm = e.arms[i]
+                if self._formula_true(arm.formula):
+                    matched = i
+                    break
+            if matched is None:
+                yield from self.exec_expr(e.otherwise)
+                return
+            snapshot = self._prop_snapshot()
+            if prev_match is not None and matched == prev_match and snapshot == prev_snapshot:
+                raise ReconsiderFailure(
+                    f"{self.jr.node}: reconsider re-matched arm {matched} with unchanged state"
+                )
+            arm = e.arms[matched]
+            yield from self.exec_expr(arm.body)
+            term = arm.terminator
+            if term == "break":
+                return
+            if term == "next":
+                lower = matched + 1
+                prev_match = None
+                prev_snapshot = None
+                continue
+            if term == "reconsider":
+                lower = 0
+                prev_match = matched
+                prev_snapshot = snapshot
+                continue
+            raise DslFailure(f"{self.jr.node}: unknown case terminator {term!r}")

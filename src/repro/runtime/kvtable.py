@@ -1,0 +1,212 @@
+"""Per-junction distributed key-value tables.
+
+Each junction owns a KV table storing its propositions (booleans) and
+named data (opaque serialized payloads).  Junctions *push* updates to
+each other but can only *read* their own table (the paper adapts the
+tuple-space idea but restricts readability to junctions).
+
+Semantics implemented here (paper sec. 6 "Junction state" and sec. 8
+"Local priority" rule):
+
+* Remote updates received while the junction is **idle** or **running**
+  are queued; they take effect when the junction is next scheduled.
+* While a junction executes a ``wait [keys] F``, updates to the
+  propositions of ``F`` and to the listed data ``keys`` are admitted
+  into the table immediately (that is how the wait can be satisfied).
+* A **local** update to a key discards pending remote updates to that
+  key — local updates have priority.
+* ``keep`` discards pending updates for the given keys; idempotent.
+* Transactions snapshot the value map and roll it back on failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+class _Undef:
+    """Singleton initial value of data items; writing/restoring it is
+    an error (paper sec. 6, "Initialization")."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undef"
+
+
+UNDEF = _Undef()
+
+
+@dataclass(frozen=True)
+class Update:
+    """A queued remote update."""
+
+    key: str
+    value: object
+    src: str  # sending junction node name (for diagnostics)
+
+
+class WaitWindow:
+    """An active ``wait`` registration: the set of keys it admits and a
+    callback fired when an admitted update lands."""
+
+    __slots__ = ("admits", "on_update", "active")
+
+    def __init__(self, admits: frozenset[str], on_update: Callable[[str], None]):
+        self.admits = admits
+        self.on_update = on_update
+        self.active = True
+
+    def close(self) -> None:
+        self.active = False
+
+
+class KVTable:
+    """A junction's key-value table."""
+
+    def __init__(self, owner: str = "?"):
+        self.owner = owner
+        self.values: dict[str, object] = {}
+        self.pending: list[Update] = []
+        self.windows: list[WaitWindow] = []
+        self.executing = False
+        #: called when an update arrives while idle (runtime uses this
+        #: to attempt a scheduling of the owning junction)
+        self.on_idle_update: Callable[[], None] | None = None
+        #: called with (key, old_value) just before a local write is
+        #: applied — the interpreter's transaction undo logging
+        self.on_local_write: Callable[[str, object], None] | None = None
+        self._tx_stack: list[dict[str, object]] = []
+
+    # -- declaration-time ---------------------------------------------------
+
+    def declare(self, key: str, value: object) -> None:
+        self.values[key] = value
+
+    def has(self, key: str) -> bool:
+        return key in self.values
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, key: str) -> object:
+        if key not in self.values:
+            raise KeyError(f"{self.owner}: no junction state {key!r}")
+        return self.values[key]
+
+    def get_prop(self, key: str) -> bool:
+        v = self.get(key)
+        if not isinstance(v, bool):
+            raise TypeError(f"{self.owner}: {key!r} is not a proposition")
+        return v
+
+    def effective(self, key: str) -> object:
+        """Value of ``key`` with the pending overlay applied (used by
+        guard evaluation at scheduling attempts)."""
+        v = self.values.get(key, UNDEF)
+        for u in self.pending:
+            if u.key == key:
+                v = u.value
+        return v
+
+    def snapshot(self) -> dict[str, object]:
+        """A shallow copy of current values (for checkpointing)."""
+        return dict(self.values)
+
+    # -- local writes -------------------------------------------------------
+
+    def set_local(self, key: str, value: object) -> None:
+        """A local update (save / assert / retract / host write).  Local
+        updates overwrite — and therefore discard — pending remote
+        updates to the same key."""
+        if key not in self.values:
+            raise KeyError(f"{self.owner}: no junction state {key!r}")
+        if self.on_local_write is not None:
+            self.on_local_write(key, self.values[key])
+        self.values[key] = value
+        if self.executing:
+            self.pending = [u for u in self.pending if u.key != key]
+
+    # -- remote updates ------------------------------------------------------
+
+    def receive(self, update: Update) -> None:
+        """Handle an arriving remote update."""
+        if self.executing:
+            admitted = any(w.active and update.key in w.admits for w in self.windows)
+            if admitted:
+                if update.key in self.values:
+                    self.values[update.key] = update.value
+                else:
+                    self.values[update.key] = update.value
+                for w in list(self.windows):
+                    if w.active and update.key in w.admits:
+                        w.on_update(update.key)
+                return
+            self.pending.append(update)
+        else:
+            self.pending.append(update)
+            if self.on_idle_update is not None:
+                self.on_idle_update()
+
+    def apply_pending(self) -> int:
+        """Apply queued updates in arrival order (called when the
+        junction is scheduled).  Returns the number applied."""
+        n = len(self.pending)
+        for u in self.pending:
+            self.values[u.key] = u.value
+        self.pending.clear()
+        return n
+
+    def apply_pending_for(self, keys: Iterable[str]) -> int:
+        """Apply queued updates to the given keys only (arrival order).
+
+        Used at ``wait`` entry: the statement "allows the junction's
+        table to reflect changes" to its propositions and listed data —
+        including changes that arrived (and were queued) moments before
+        the wait opened its window."""
+        keyset = set(keys)
+        applied = 0
+        remaining = []
+        for u in self.pending:
+            if u.key in keyset:
+                self.values[u.key] = u.value
+                applied += 1
+            else:
+                remaining.append(u)
+        self.pending = remaining
+        return applied
+
+    def keep(self, keys: Iterable[str]) -> None:
+        keyset = set(keys)
+        self.pending = [u for u in self.pending if u.key not in keyset]
+
+    # -- wait windows -----------------------------------------------------------
+
+    def open_window(self, admits: frozenset[str], on_update: Callable[[str], None]) -> WaitWindow:
+        w = WaitWindow(admits, on_update)
+        self.windows.append(w)
+        return w
+
+    def close_window(self, window: WaitWindow) -> None:
+        window.close()
+        self.windows = [w for w in self.windows if w.active]
+
+    # -- transactions ----------------------------------------------------------
+
+    def tx_begin(self) -> None:
+        self._tx_stack.append(dict(self.values))
+
+    def tx_commit(self) -> None:
+        self._tx_stack.pop()
+
+    def tx_rollback(self) -> None:
+        self.values = self._tx_stack.pop()
+
+    @property
+    def in_transaction(self) -> bool:
+        return bool(self._tx_stack)

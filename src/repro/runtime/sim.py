@@ -1,0 +1,119 @@
+"""Deterministic discrete-event simulation core.
+
+The C-Saw runtime in this reproduction executes on simulated time: all
+latencies (network hops, host service times, timeouts) are scheduled on
+a single event queue.  Determinism comes from (time, priority, seq)
+ordering with a monotonically increasing sequence number breaking ties
+in insertion order.
+
+This replaces the paper's libcompart + real OS IPC: experiments become
+reproducible and laptop-scale while preserving the asynchronous
+message-passing semantics the DSL is defined against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.call_at` for cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Callbacks scheduled at the same instant run in (priority, insertion)
+    order.  Lower priority numbers run first; the default priority is 0.
+    """
+
+    def __init__(self):
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def call_at(self, time: float, callback: Callable[[], None], priority: int = 0) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        ev = _Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, ev)
+        return EventHandle(ev)
+
+    def call_after(self, delay: float, callback: Callable[[], None], priority: int = 0) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        return self.call_at(self._now + delay, callback, priority)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.callback()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run events up to and including simulated ``time``."""
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > time:
+                break
+            self.step()
+        self._now = max(self._now, time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains (or ``max_events``)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events (livelock?)")
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)

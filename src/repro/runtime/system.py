@@ -1,0 +1,528 @@
+"""System assembly: programs + host bindings + network + scheduler.
+
+A :class:`System` loads a :class:`~repro.core.compiler.CompiledProgram`,
+creates the declared instances, and runs the architecture on simulated
+time.  It plays the role of the paper's libcompart deployment: starting
+the special ``main`` computation, interconnecting junctions, routing KV
+updates, evaluating junction guards, and exposing fault injection.
+
+Scheduling model
+----------------
+
+A junction executes when *scheduled*.  Scheduling attempts happen:
+
+* when a KV update arrives while the junction is idle,
+* when the embedding application pokes it
+  (:meth:`System.external_update` / :meth:`System.poke`),
+* right after an instance starts (each junction gets an initial
+  attempt — the paper starts an instance's junctions concurrently in
+  arbitrary order),
+* after an execution finishes with queued pending updates.
+
+An attempt applies pending updates, evaluates the guard and — if the
+guard holds — runs the junction body.  Guards therefore express the
+paper's scheduling assumptions (``guard Work``, ``guard !Starting &&
+Req`` …).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+from ..core import ast as A
+from ..core.compiler import CompiledProgram
+from ..core.errors import (
+    CompileError,
+    DslFailure,
+    StartStopFailure,
+    UndefError,
+)
+from ..core.expand import (
+    resolve_me_decl,
+    resolve_me_expr,
+    specialize,
+    to_ast_value,
+)
+from ..core.formula import TRUE, UNKNOWN, evaluate
+from ..core.validate import validate_closed_junction
+from ..serde.framing import Serializer
+from .channels import Message, Network
+from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime
+from .interpreter import JunctionExecution
+from .kvtable import UNDEF, Update
+from .sim import Simulator
+
+
+class System:
+    """A running C-Saw architecture."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        *,
+        latency: float = 0.05,
+        intra_latency: float = 0.0005,
+        max_retries: int = 3,
+        seed: int = 0,
+        serializer: Serializer | None = None,
+        sim: Simulator | None = None,
+    ):
+        self.program = program
+        self.sim = sim or Simulator()
+        self.rng = random.Random(seed)
+        self.network = Network(
+            self.sim, default_latency=latency, intra_latency=intra_latency, rng=self.rng
+        )
+        self.max_retries = max_retries
+        self.serializer = serializer or Serializer()
+
+        self.types: dict[str, InstanceTypeRuntime] = {}
+        for tname in program.source.instance_types:
+            self.types[tname] = InstanceTypeRuntime(tname, program.junctions_of_type(tname))
+
+        self.instances: dict[str, InstanceRuntime] = {}
+        for iname, tname in program.instance_map().items():
+            self.instances[iname] = InstanceRuntime(iname, self.types[tname])
+
+        self._executions: dict[str, JunctionExecution] = {}
+        self._trace: list[dict] = []
+        self._trace_hooks: list[Callable[[dict], None]] = []
+        self._started_main = False
+        self.failures: list[tuple[float, str, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # Host bindings
+    # ------------------------------------------------------------------
+
+    def type_runtime(self, type_name: str) -> InstanceTypeRuntime:
+        try:
+            return self.types[type_name]
+        except KeyError:
+            raise CompileError(f"no instance type {type_name!r}") from None
+
+    def bind_host(self, type_name: str, fn_name: str, fn) -> None:
+        """Bind host function ``fn_name`` of instance type ``type_name``."""
+        self.type_runtime(type_name).bind_host(fn_name, fn)
+
+    def host(self, type_name: str, fn_name: str):
+        """Decorator form of :meth:`bind_host`."""
+
+        def deco(fn):
+            self.bind_host(type_name, fn_name, fn)
+            return fn
+
+        return deco
+
+    def bind_app(self, type_name: str, factory) -> None:
+        """Application-object factory, called per instance at start."""
+        self.type_runtime(type_name).app_factory = factory
+
+    def bind_state(
+        self,
+        type_name: str,
+        *,
+        save=None,
+        restore=None,
+        schema: str | None = None,
+        data_name: str | None = None,
+    ) -> None:
+        """Register host-state capture for ``save``/``restore``.
+
+        ``data_name`` scopes the providers to one named data item;
+        otherwise they become the type's defaults.
+        """
+        t = self.type_runtime(type_name)
+        from .instance import StateProviders
+
+        providers = StateProviders(save=save, restore=restore, schema=schema)
+        if data_name is None:
+            t.state = providers
+        else:
+            t.data_state[data_name] = providers
+
+    # ------------------------------------------------------------------
+    # Program start-up
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def start(self, **main_args) -> None:
+        """Run ``main``: evaluates the start-up expression.
+
+        ``main_args`` bind main's parameters by name; unbound parameters
+        fall back to the program's compile-time config.
+        """
+        if self._started_main:
+            raise CompileError("main already started")
+        self._started_main = True
+        main = self.program.main
+        if main is None:
+            return
+        env = self.program.config_env()
+        for k, v in main_args.items():
+            env[k] = to_ast_value(v)
+        missing = [p for p in main.params if p not in env]
+        if missing:
+            raise CompileError(f"main parameters missing values: {missing}")
+
+        body, _ = specialize(main.body, (), env)
+
+        # main runs on a distinguished start-up pseudo-junction.
+        from ..core.compiler import CompiledJunction
+
+        init_cj = CompiledJunction(
+            type_name="__init__", name="main", params=main.params, decls=(), body=body
+        )
+        init_type = InstanceTypeRuntime("__init__", [])
+        init_type.junctions["main"] = init_cj
+        init_inst = InstanceRuntime("__init__", init_type)
+        init_inst.running = True
+        jr = init_inst.junctions["main"] = JunctionRuntime(init_inst, init_cj)
+        jr.body = body
+        jr.decls = ()
+        jr.guard = TRUE
+        jr.params = {p: _to_runtime_value(env[p]) for p in main.params}
+        jr.init_state()
+        self.network.register(jr.node, self._make_deliver(jr))
+        execution = JunctionExecution(self, jr)
+        self._executions[jr.node] = execution
+        execution.start()
+        # drain immediate events so starts complete deterministically
+        self.sim.run_until(self.sim.now)
+
+    def run_until(self, time: float) -> None:
+        self.sim.run_until(time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        self.sim.run(max_events)
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle
+    # ------------------------------------------------------------------
+
+    def instance(self, name: str) -> InstanceRuntime:
+        try:
+            return self.instances[name]
+        except KeyError:
+            raise CompileError(f"no instance {name!r}") from None
+
+    def _resolve_instance_name(self, ref: A.Ref, caller: JunctionRuntime | None) -> str:
+        """Resolve a start/stop target, dereferencing the caller's idx
+        cursors and parameters (so ``start which(t)`` works with
+        ``idx which of {...}`` — used by elastic scale-out)."""
+        name = str(ref)
+        if name in self.instances or caller is None:
+            return name
+        if ref.is_simple and ref.name in caller.idx_names:
+            v = caller.table.get(ref.name)
+            if v is UNDEF:
+                raise UndefError(f"{caller.node}: index {ref.name!r} is undef")
+            return str(v)
+        if ref.is_simple and isinstance(caller.params.get(ref.name), str):
+            return caller.params[ref.name]
+        return name
+
+    def exec_start(self, node: A.Start, caller: JunctionRuntime | None) -> None:
+        """Execute a ``start`` statement."""
+        name = self._resolve_instance_name(node.instance, caller)
+        inst = self.instance(name)
+        if inst.running and not inst.crashed:
+            raise StartStopFailure(f"start {name}: instance already running")
+        arg_groups = dict(node.junction_args)
+        junctions = list(inst.junctions.values())
+        if None in arg_groups and len(arg_groups) == 1:
+            if len(junctions) != 1:
+                raise StartStopFailure(
+                    f"start {name}: anonymous arguments but {len(junctions)} junctions"
+                )
+            arg_groups = {junctions[0].name: arg_groups[None]}
+        self._start_instance(inst, arg_groups)
+
+    def start_instance(self, name: str, /, **junction_args) -> None:
+        """Host-level instance start.  ``junction_args`` maps junction
+        name to a dict of parameter values (or, for a sole junction, may
+        be the parameter dict directly via ``args=...``)."""
+        inst = self.instance(name)
+        if inst.running and not inst.crashed:
+            raise StartStopFailure(f"start {name}: instance already running")
+        groups: dict[str, tuple] = {}
+        for jname, params in junction_args.items():
+            jr = inst.junction(jname)
+            ordered = tuple(
+                to_ast_value(params[p]) for p in jr.compiled.params
+            )
+            groups[jname] = ordered
+        self._start_instance(inst, groups)
+
+    def _start_instance(self, inst: InstanceRuntime, arg_groups: Mapping[str, tuple]) -> None:
+        inst.running = True
+        inst.crashed = False
+        inst.start_count += 1
+        self.network.set_down(inst.name, False)
+        if inst.type.app_factory is not None:
+            inst.app = inst.type.app_factory(inst)
+        config_env = self.program.config_env()
+
+        for jname, jr in inst.junctions.items():
+            cj = jr.compiled
+            args = arg_groups.get(jname, ())
+            if len(args) != len(cj.params):
+                raise StartStopFailure(
+                    f"start {inst.name}: junction {jname!r} expects {len(cj.params)} "
+                    f"parameter(s), got {len(args)}"
+                )
+            env = dict(config_env)
+            env.update(dict(zip(cj.params, args)))
+            body, decls = specialize(cj.body, cj.decls, env)
+            body = resolve_me_expr(body, inst.name, jname)
+            decls = tuple(resolve_me_decl(d, inst.name, jname) for d in decls)
+            validate_closed_junction(cj.qualified, decls, body, cj.params)
+            jr.body = body
+            jr.decls = decls
+            jr.guard = TRUE
+            for d in decls:
+                if isinstance(d, A.Guard):
+                    jr.guard = d.formula
+            jr.ast_params = dict(zip(cj.params, args))
+            jr.params = {p: _to_runtime_value(v) for p, v in jr.ast_params.items()}
+            jr.init_state()
+            jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
+            self.network.register(jr.node, self._make_deliver(jr))
+
+        self.trace("start_instance", inst.name)
+        # junctions of a started instance start concurrently, in
+        # arbitrary order — model with an immediate attempt for each
+        for jr in inst.junctions.values():
+            self._attempt_soon(jr)
+
+    def exec_stop(self, node: A.Stop, caller: JunctionRuntime | None) -> None:
+        self.stop_instance(self._resolve_instance_name(node.instance, caller))
+
+    def stop_instance(self, name: str) -> None:
+        inst = self.instance(name)
+        if not inst.running:
+            raise StartStopFailure(f"stop {name}: instance not running")
+        for jr in inst.junctions.values():
+            ex = self._executions.pop(jr.node, None)
+            if ex is not None and not ex.finished:
+                ex.cancel()
+            self.network.unregister(jr.node)
+        inst.running = False
+        self.trace("stop_instance", name)
+
+    # -- fault injection -----------------------------------------------------
+
+    def crash_instance(self, name: str) -> None:
+        """Crash an instance: abort executions, drop its traffic."""
+        inst = self.instance(name)
+        inst.crashed = True
+        self.network.set_down(inst.name, True)
+        for jr in inst.junctions.values():
+            ex = self._executions.pop(jr.node, None)
+            if ex is not None and not ex.finished:
+                ex.cancel()
+        self.trace("crash_instance", name)
+
+    def restart_instance(self, name: str, /, reinit: bool = True) -> None:
+        """Bring a crashed instance back (fresh junction state)."""
+        inst = self.instance(name)
+        if not inst.crashed:
+            raise StartStopFailure(f"restart {name}: instance is not crashed")
+        inst.crashed = False
+        self.network.set_down(inst.name, False)
+        if reinit:
+            for jr in inst.junctions.values():
+                jr.init_state()
+                jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
+        self.trace("restart_instance", name)
+        for jr in inst.junctions.values():
+            self._attempt_soon(jr)
+
+    # ------------------------------------------------------------------
+    # Junction scheduling
+    # ------------------------------------------------------------------
+
+    def junction(self, node: str) -> JunctionRuntime:
+        inst_name, _, jname = node.partition("::")
+        inst = self.instance(inst_name)
+        if not jname:
+            return inst.sole_junction()
+        return inst.junction(jname)
+
+    def _attempt_soon(self, jr: JunctionRuntime) -> None:
+        self.sim.call_after(0.0, lambda: self.attempt_schedule(jr))
+
+    def attempt_schedule(self, jr: JunctionRuntime) -> bool:
+        """Apply pending updates, check the guard, and run if it holds."""
+        inst = jr.instance
+        if not inst.alive or jr.status != "idle" or jr.body is None:
+            return False
+        jr.table.apply_pending()
+        if not self._guard_holds(jr):
+            return False
+        execution = JunctionExecution(self, jr)
+        self._executions[jr.node] = execution
+        execution.start()
+        return True
+
+    def _guard_holds(self, jr: JunctionRuntime) -> bool:
+        guard = jr.guard if jr.guard is not None else TRUE
+        v = evaluate(
+            guard,
+            lambda k: jr.table.values.get(k) if isinstance(jr.table.values.get(k), bool) else UNKNOWN,
+            at=self.make_at_resolver(jr),
+            live=self.make_live_resolver(),
+        )
+        return v is True
+
+    def execution_finished(self, jr: JunctionRuntime, execution: JunctionExecution) -> None:
+        if execution.failure is not None:
+            self.failures.append((self.sim.now, jr.node, execution.failure))
+        self._executions.pop(jr.node, None)
+        if jr.table.pending:
+            self._attempt_soon(jr)
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+
+    def _make_deliver(self, jr: JunctionRuntime):
+        def deliver(msg: Message) -> None:
+            if msg.kind == "update":
+                if not jr.instance.alive:
+                    return  # no ack: sender times out
+                jr.table.receive(msg.payload)
+                self.network.send(
+                    Message(src=jr.node, dst=msg.src, kind="ack", payload=msg.msg_id, msg_id=msg.msg_id)
+                )
+            elif msg.kind == "ack":
+                ex = self._executions.get(jr.node)
+                if ex is not None:
+                    ex.on_ack(msg.payload)
+
+        return deliver
+
+    # ------------------------------------------------------------------
+    # Target / formula resolution
+    # ------------------------------------------------------------------
+
+    def resolve_target(self, target: object, caller: JunctionRuntime) -> JunctionRuntime:
+        """Resolve an assert/retract/write target to a junction."""
+        if isinstance(target, str):
+            target = A.ref(target)
+        if not isinstance(target, A.Ref):
+            raise DslFailure(f"{caller.node}: bad communication target {target!r}")
+        parts = target.parts
+        if parts[0] == "me":
+            raise DslFailure(f"{caller.node}: unresolved special reference {target}")
+        if target.is_simple:
+            name = parts[0]
+            # an index variable? dereference through the table
+            if name in caller.idx_names:
+                v = caller.table.get(name)
+                if v is UNDEF:
+                    raise UndefError(f"{caller.node}: index {name!r} is undef")
+                return self.resolve_target(str(v), caller)
+            if name in caller.params:
+                v = caller.params[name]
+                if isinstance(v, str):
+                    return self.resolve_target(v, caller)
+                raise DslFailure(f"{caller.node}: parameter {name!r} is not a junction reference")
+            if name in self.instances:
+                return self.instance(name).sole_junction()
+            raise DslFailure(f"{caller.node}: unknown target {name!r}")
+        inst_name, jname = parts[0], parts[1]
+        if inst_name not in self.instances:
+            raise DslFailure(f"{caller.node}: unknown instance {inst_name!r} in target {target}")
+        return self.instance(inst_name).junction(jname)
+
+    def make_at_resolver(self, caller: JunctionRuntime):
+        """``gamma@F`` evaluation: read the remote junction's table if
+        its instance is running, else UNKNOWN (ternary error)."""
+
+        def at(junction_ref, body):
+            try:
+                jr = self.resolve_target(junction_ref, caller)
+            except DslFailure:
+                return UNKNOWN
+            if not jr.instance.alive:
+                return UNKNOWN
+            return evaluate(
+                body,
+                lambda k: jr.table.values.get(k) if isinstance(jr.table.values.get(k), bool) else UNKNOWN,
+                at=self.make_at_resolver(jr),
+                live=self.make_live_resolver(),
+            )
+
+        return at
+
+    def make_live_resolver(self):
+        def live(instance_ref):
+            name = str(instance_ref) if not isinstance(instance_ref, A.Ref) else instance_ref.parts[0]
+            if isinstance(instance_ref, A.Ref):
+                name = instance_ref.parts[0]
+            inst = self.instances.get(name)
+            if inst is None:
+                return UNKNOWN
+            return inst.alive
+
+        return live
+
+    # ------------------------------------------------------------------
+    # External (application-driven) interaction
+    # ------------------------------------------------------------------
+
+    def external_update(self, node: str, key: str, value: object, *, poke: bool = True) -> None:
+        """Apply an externally-originated KV update (e.g. the embedding
+        application asserting ``Req`` on a client request) and attempt a
+        scheduling."""
+        jr = self.junction(node)
+        jr.table.receive(Update(key=key, value=value, src="__external__"))
+        if poke:
+            self._attempt_soon(jr)
+
+    def external_data(self, node: str, key: str, obj: object, schema: str | None = None) -> None:
+        """Install externally-supplied named data (serialized)."""
+        jr = self.junction(node)
+        payload = self.serializer.encode(schema, obj)
+        jr.table.receive(Update(key=key, value=payload, src="__external__"))
+
+    def poke(self, node: str) -> None:
+        """Attempt to schedule a junction."""
+        jr = self.junction(node)
+        self._attempt_soon(jr)
+
+    def read_state(self, node: str, key: str):
+        """Read junction state from outside (tests/metrics)."""
+        return self.junction(node).table.values.get(key, UNDEF)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def trace(self, kind: str, node: str, **info) -> None:
+        rec = {"time": self.sim.now, "kind": kind, "node": node, **info}
+        self._trace.append(rec)
+        for hook in self._trace_hooks:
+            hook(rec)
+
+    def on_trace(self, hook: Callable[[dict], None]) -> None:
+        self._trace_hooks.append(hook)
+
+    @property
+    def trace_log(self) -> list[dict]:
+        return self._trace
+
+
+def _to_runtime_value(v: object) -> object:
+    """AST argument value → runtime value (str / float / tuple)."""
+    if isinstance(v, A.Ref):
+        return str(v)
+    if isinstance(v, A.Num):
+        return v.value
+    if isinstance(v, A.SetLit):
+        return tuple(_to_runtime_value(i) for i in v.items)
+    return v

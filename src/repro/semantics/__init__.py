@@ -1,0 +1,53 @@
+"""Formal event-structure semantics of the C-Saw DSL (paper sec. 8)."""
+
+from .denote import Denoter, expand_waits
+from .events import (
+    AdHoc,
+    Event,
+    FF,
+    Label,
+    Rd,
+    STAR,
+    Sched,
+    StartL,
+    StopL,
+    Synch,
+    TT,
+    Unsched,
+    WaitL,
+    Wr,
+    fresh_event,
+    isolate_event,
+)
+from .program_sem import ProgramSemantics, denote_program, denote_startup
+from .render import immediate_causality, minimal_conflicts, to_dot, to_text
+from .structure import EventStructure
+
+__all__ = [
+    "AdHoc",
+    "Denoter",
+    "Event",
+    "EventStructure",
+    "FF",
+    "Label",
+    "ProgramSemantics",
+    "Rd",
+    "STAR",
+    "Sched",
+    "StartL",
+    "StopL",
+    "Synch",
+    "TT",
+    "Unsched",
+    "WaitL",
+    "Wr",
+    "denote_program",
+    "denote_startup",
+    "expand_waits",
+    "fresh_event",
+    "immediate_causality",
+    "isolate_event",
+    "minimal_conflicts",
+    "to_dot",
+    "to_text",
+]

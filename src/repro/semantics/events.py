@@ -1,0 +1,184 @@
+"""Events and labels of the C-Saw event-structure semantics (sec. 8).
+
+An event is a triple ``(id, label, outward)``: a unique identifier, a
+label describing the activity, and an "outward" flag used by the
+exception-handling composition rules (``isolate`` clears it).
+
+The label alphabet (sec. 8.2)::
+
+    L ∈ { Rd_J(K,V), Wr_J(K,V), Start_J(γ), Stop_J(γ),
+          Sched_J, Unsched_J, Synch_J(K⃗), Wait_J(K⃗,K) }
+
+plus *ad hoc* labels for abstracted behaviour such as ``complain``.
+``Wr`` labels may carry a set of junctions (the paper writes
+``Wr_{Act,Aud}(Work,tt)`` for an assert that updates both tables).
+
+Values: ``TT``/``FF`` for propositions, ``STAR`` ("*") for data writes
+of unspecified value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class _Star:
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+#: The unspecified data value "*"
+STAR = _Star()
+TT = True
+FF = False
+
+
+def _fmt_val(v) -> str:
+    if v is True:
+        return "tt"
+    if v is False:
+        return "ff"
+    return repr(v) if v is not STAR else "*"
+
+
+class Label:
+    """Base class of event labels; labels are value objects."""
+
+    __slots__ = ()
+
+
+def _junctions_str(junctions: FrozenSet[str]) -> str:
+    if len(junctions) == 1:
+        return next(iter(junctions))
+    return "{" + ",".join(sorted(junctions)) + "}"
+
+
+@dataclass(frozen=True)
+class Rd(Label):
+    """``Rd_J(K, V)``: key ``key`` read as ``value`` at junction ``junction``."""
+
+    junction: str
+    key: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"Rd_{self.junction}({self.key},{_fmt_val(self.value)})"
+
+
+@dataclass(frozen=True)
+class Wr(Label):
+    """``Wr_J(K, V)``; ``junctions`` may name several tables updated by
+    one statement (assert/retract update sender and target)."""
+
+    junctions: FrozenSet[str]
+    key: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"Wr_{_junctions_str(self.junctions)}({self.key},{_fmt_val(self.value)})"
+
+
+@dataclass(frozen=True)
+class StartL(Label):
+    junction: str
+    instance: str
+
+    def __str__(self) -> str:
+        return f"Start_{self.junction}({self.instance})"
+
+
+@dataclass(frozen=True)
+class StopL(Label):
+    junction: str
+    instance: str
+
+    def __str__(self) -> str:
+        return f"Stop_{self.junction}({self.instance})"
+
+
+@dataclass(frozen=True)
+class Sched(Label):
+    junction: str
+
+    def __str__(self) -> str:
+        return f"Sched_{self.junction}"
+
+
+@dataclass(frozen=True)
+class Unsched(Label):
+    junction: str
+
+    def __str__(self) -> str:
+        return f"Unsched_{self.junction}"
+
+
+@dataclass(frozen=True)
+class Synch(Label):
+    """``Synch_J(K⃗)``: a synchronization barrier inserted by the
+    semantics (e.g. transaction entry, DNF read staging)."""
+
+    junction: str
+    keys: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        k = ",".join(self.keys)
+        return f"Synch_{self.junction}({k})"
+
+
+@dataclass(frozen=True)
+class WaitL(Label):
+    """``Wait_J(K⃗, F)``: placeholder decomposed into read patterns by
+    the post-processing step (sec. 8.5)."""
+
+    junction: str
+    keys: tuple[str, ...]
+    formula: str
+
+    def __str__(self) -> str:
+        return f"Wait_{self.junction}([{','.join(self.keys)}],{self.formula})"
+
+
+@dataclass(frozen=True)
+class AdHoc(Label):
+    """Abstracted behaviour, e.g. ``complain`` (sec. 8.2)."""
+
+    name: str
+    junction: str = ""
+
+    def __str__(self) -> str:
+        return self.name if not self.junction else f"{self.name}@{self.junction}"
+
+
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event ``(id, label, outward)``."""
+
+    id: int
+    label: Label
+    outward: bool = True
+
+    def __str__(self) -> str:
+        suffix = "" if self.outward else "°"
+        return f"{self.label}{suffix}"
+
+
+def fresh_event(label: Label, outward: bool = True) -> Event:
+    """Create an event with a fresh identifier."""
+    return Event(next(_ids), label, outward)
+
+
+def isolate_event(e: Event) -> Event:
+    """The paper's ``isolate``: clear the outward flag (identity kept)."""
+    return Event(e.id, e.label, False)

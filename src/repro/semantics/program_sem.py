@@ -1,0 +1,128 @@
+"""Program-level semantics: the start-up portion and whole programs.
+
+Sec. 8.4: mapping a program into event structures adds a start-up
+portion — an externally-occurring ``main`` event enables
+``Start_init(ι)`` events (the distinguished ``init`` junction starts
+the instances), each of which enables the ``Wr`` events initializing
+the started instance's junction state (Fig. in sec. 8.4).
+
+:func:`denote_program` returns the start-up structure plus one
+structure per (instance, junction) pair, denoted with
+:class:`~repro.semantics.denote.Denoter`.  The structures are disjoint
+components, as in the paper's figures; cross-junction enablements are
+implicit in the matching ``Wr``/``Rd`` labels (the dotted arrows of
+Fig. 18 are rendered, not composed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ast as A
+from ..core.compiler import CompiledProgram
+from ..core.expand import resolve_me_decl, resolve_me_expr, specialize, to_ast_value
+from .denote import Denoter
+from .events import AdHoc, StartL, Wr, fresh_event, TT, FF
+from .structure import EventStructure
+
+ES = EventStructure
+
+
+@dataclass
+class ProgramSemantics:
+    """The event structures of a whole program."""
+
+    startup: ES
+    junctions: dict[str, ES]  # "instance::junction" -> structure
+
+    def all_structures(self) -> list[ES]:
+        return [self.startup, *self.junctions.values()]
+
+    def total_events(self) -> int:
+        return sum(s.size() for s in self.all_structures())
+
+
+def denote_startup(program: CompiledProgram, env: dict | None = None) -> ES:
+    """The start-up portion: ``main`` → ``Start_init(ι)`` → per-instance
+    init writes."""
+    main_ev = fresh_event(AdHoc("main"))
+    es = ES.of_events([main_ev])
+    if program.main is None:
+        return es
+    cfg = program.config_env()
+    for k, v in (env or {}).items():
+        cfg[k] = to_ast_value(v)
+    try:
+        body, _ = specialize(program.main.body, (), cfg)
+    except Exception:
+        body = program.main.body
+
+    inst_map = program.instance_map()
+    for node in A.walk(body):
+        if not isinstance(node, A.Start):
+            continue
+        iname = str(node.instance)
+        start_ev = fresh_event(StartL("init", iname))
+        es = ES(
+            es.events | {start_ev},
+            es.le | {(main_ev.id, start_ev.id)},
+            es.conflict,
+        )
+        tname = inst_map.get(iname)
+        if tname is None:
+            continue
+        for cj in program.junctions_of_type(tname):
+            try:
+                _, decls = specialize(cj.body, cj.decls, cfg)
+            except Exception:
+                decls = cj.decls
+            decls = tuple(resolve_me_decl(d, iname, cj.name) for d in decls)
+            jnode = f"{iname}::{cj.name}"
+            for d in decls:
+                if isinstance(d, A.InitProp):
+                    wr = fresh_event(Wr(frozenset([jnode]), d.key(), TT if d.value else FF))
+                    es = ES(
+                        es.events | {wr},
+                        es.le | {(start_ev.id, wr.id)},
+                        es.conflict,
+                    )
+    return es
+
+
+def denote_program(
+    program: CompiledProgram,
+    env: dict | None = None,
+    *,
+    max_unfold: int = 1,
+) -> ProgramSemantics:
+    """Denote start-up plus every instance's junctions.
+
+    ``env`` supplies values for main/junction parameters where needed
+    (sets, timeouts); junctions whose parameters remain unbound are
+    denoted from their unspecialized bodies (templates intact where
+    possible, else skipped with an ``AdHoc`` stub)."""
+    cfg = program.config_env()
+    for k, v in (env or {}).items():
+        cfg[k] = to_ast_value(v)
+
+    startup = denote_startup(program, env)
+    junctions: dict[str, ES] = {}
+    for iname, tname in program.instance_map().items():
+        for cj in program.junctions_of_type(tname):
+            node = f"{iname}::{cj.name}"
+            try:
+                body, decls = specialize(cj.body, cj.decls, cfg)
+                body = resolve_me_expr(body, iname, cj.name)
+                decls = tuple(resolve_me_decl(d, iname, cj.name) for d in decls)
+            except Exception:
+                junctions[node] = ES.of_events(
+                    [fresh_event(AdHoc(f"unbound({node})", node))]
+                )
+                continue
+            guard = None
+            for d in decls:
+                if isinstance(d, A.Guard):
+                    guard = d.formula
+            den = Denoter(node, max_unfold=max_unfold)
+            junctions[node] = den.denote_junction(body, guard)
+    return ProgramSemantics(startup=startup, junctions=junctions)

@@ -1,0 +1,174 @@
+"""Wire framing and the runtime :class:`Serializer`.
+
+``save`` produces a :class:`SavedData` — a schema-tagged opaque blob —
+which is what lives in KV tables and crosses the network via ``write``.
+Schemas registered against a :class:`~repro.serde.ctypes_model.TypeRegistry`
+use the type-aware C encoding; unregistered data falls back to a small
+generic codec covering the Python shapes substrates exchange (dict,
+list, tuple, str, bytes, int, float, bool, None).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from dataclasses import dataclass
+
+from ..core.errors import SerdeError
+from .ctypes_model import TypeRegistry
+from .traverse import Decoder, Encoder
+
+_LEN = _struct.Struct("<I")
+_I64 = _struct.Struct("<q")
+_F64 = _struct.Struct("<d")
+
+
+@dataclass(frozen=True)
+class SavedData:
+    """A serialized value as stored in KV tables.
+
+    ``schema`` is the registered type name (or ``None`` for the generic
+    codec); ``blob`` the encoded bytes.
+    """
+
+    schema: str | None
+    blob: bytes
+
+    def __len__(self) -> int:
+        return len(self.blob)
+
+
+# ---------------------------------------------------------------------------
+# Generic codec
+# ---------------------------------------------------------------------------
+
+def _enc_generic(value: object, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        out += b"i"
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out += b"f"
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"s"
+        out += _LEN.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out += b"b"
+        out += _LEN.pack(len(value))
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out += b"l" if isinstance(value, list) else b"t"
+        out += _LEN.pack(len(value))
+        for v in value:
+            _enc_generic(v, out)
+    elif isinstance(value, dict):
+        out += b"d"
+        out += _LEN.pack(len(value))
+        for k, v in value.items():
+            _enc_generic(k, out)
+            _enc_generic(v, out)
+    else:
+        raise SerdeError(
+            f"generic codec cannot serialize {type(value).__name__}; register a schema"
+        )
+
+
+def _dec_generic(data: bytes, off: int):
+    if off >= len(data):
+        raise SerdeError("truncated generic value")
+    tag = data[off : off + 1]
+    off += 1
+    if tag == b"N":
+        return None, off
+    if tag == b"T":
+        return True, off
+    if tag == b"F":
+        return False, off
+    if tag == b"i":
+        if off + _I64.size > len(data):
+            raise SerdeError("truncated integer")
+        return _I64.unpack_from(data, off)[0], off + _I64.size
+    if tag == b"f":
+        if off + _F64.size > len(data):
+            raise SerdeError("truncated float")
+        return _F64.unpack_from(data, off)[0], off + _F64.size
+    if tag in (b"s", b"b"):
+        if off + _LEN.size > len(data):
+            raise SerdeError("truncated length prefix")
+        (n,) = _LEN.unpack_from(data, off)
+        off += _LEN.size
+        raw = data[off : off + n]
+        if len(raw) != n:
+            raise SerdeError("truncated string/bytes")
+        off += n
+        return (raw.decode("utf-8") if tag == b"s" else raw), off
+    if tag in (b"l", b"t"):
+        if off + _LEN.size > len(data):
+            raise SerdeError("truncated length prefix")
+        (n,) = _LEN.unpack_from(data, off)
+        off += _LEN.size
+        items = []
+        for _ in range(n):
+            v, off = _dec_generic(data, off)
+            items.append(v)
+        return (items if tag == b"l" else tuple(items)), off
+    if tag == b"d":
+        if off + _LEN.size > len(data):
+            raise SerdeError("truncated length prefix")
+        (n,) = _LEN.unpack_from(data, off)
+        off += _LEN.size
+        d = {}
+        for _ in range(n):
+            k, off = _dec_generic(data, off)
+            v, off = _dec_generic(data, off)
+            d[k] = v
+        return d, off
+    raise SerdeError(f"unknown generic tag {tag!r}")
+
+
+def encode_generic(value: object) -> bytes:
+    out = bytearray()
+    _enc_generic(value, out)
+    return bytes(out)
+
+
+def decode_generic(data: bytes) -> object:
+    value, off = _dec_generic(data, 0)
+    if off != len(data):
+        raise SerdeError("trailing bytes after generic decode")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Serializer
+# ---------------------------------------------------------------------------
+
+class Serializer:
+    """Schema-dispatching serializer used by the runtime's
+    ``save``/``restore``/``write`` primitives."""
+
+    def __init__(self, registry: TypeRegistry | None = None):
+        self.registry = registry or TypeRegistry()
+        self._encoder = Encoder(self.registry)
+        self._decoder = Decoder(self.registry)
+
+    def encode(self, schema: str | None, value: object) -> SavedData:
+        if schema is None:
+            return SavedData(None, encode_generic(value))
+        if self.registry.get(schema) is None:
+            raise SerdeError(f"unknown schema {schema!r}")
+        return SavedData(schema, self._encoder.encode(schema, value))
+
+    def decode(self, saved: SavedData) -> object:
+        if not isinstance(saved, SavedData):
+            raise SerdeError(f"expected SavedData, got {type(saved).__name__}")
+        if saved.schema is None:
+            return decode_generic(saved.blob)
+        return self._decoder.decode(saved.schema, saved.blob)

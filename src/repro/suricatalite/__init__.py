@@ -1,0 +1,42 @@
+"""suricatalite — a mini network security monitor standing in for
+Suricata v6.0.3 (Click-style pipeline, flow table, signature rules)."""
+
+from .feeder import PacketFeeder
+from .flows import FlowRecord, FlowTable
+from .packet import FiveTuple, Packet
+from .pipeline import (
+    CaptureNode,
+    DecodeNode,
+    DetectNode,
+    FlowNode,
+    HookNode,
+    Node,
+    OutputNode,
+    Pipeline,
+    PipelineContext,
+)
+from .rules import Alert, DEFAULT_RULES, Rule, RuleSet
+from .traces import TraceConfig, TraceGenerator
+
+__all__ = [
+    "Alert",
+    "CaptureNode",
+    "DecodeNode",
+    "DEFAULT_RULES",
+    "DetectNode",
+    "FiveTuple",
+    "FlowNode",
+    "FlowRecord",
+    "FlowTable",
+    "HookNode",
+    "Node",
+    "OutputNode",
+    "Packet",
+    "PacketFeeder",
+    "Pipeline",
+    "PipelineContext",
+    "Rule",
+    "RuleSet",
+    "TraceConfig",
+    "TraceGenerator",
+]

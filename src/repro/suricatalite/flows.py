@@ -1,0 +1,81 @@
+"""Flow tracking.
+
+Suricata keeps a flow table keyed by 5-tuple; detection state is
+per-flow.  The table is the principal state captured by the
+checkpointing architecture (availability + diagnostics, sec. 2), so it
+supports full snapshot/restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .packet import Packet
+
+
+@dataclass
+class FlowRecord:
+    tuple_key: str
+    packets: int = 0
+    bytes: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    alerts: int = 0
+    app: str = "unknown"
+
+
+class FlowTable:
+    def __init__(self, idle_timeout: float = 60.0):
+        self.flows: dict[str, FlowRecord] = {}
+        self.idle_timeout = idle_timeout
+        self.evicted = 0
+
+    def update(self, pkt: Packet) -> FlowRecord:
+        key = str(pkt.flow)
+        rec = self.flows.get(key)
+        if rec is None:
+            rec = FlowRecord(tuple_key=key, first_seen=pkt.ts, app=pkt.app)
+            self.flows[key] = rec
+        rec.packets += 1
+        rec.bytes += pkt.size
+        rec.last_seen = pkt.ts
+        return rec
+
+    def evict_idle(self, now: float) -> int:
+        stale = [k for k, r in self.flows.items() if now - r.last_seen > self.idle_timeout]
+        for k in stale:
+            del self.flows[k]
+        self.evicted += len(stale)
+        return len(stale)
+
+    def size(self) -> int:
+        return len(self.flows)
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            k: {
+                "packets": r.packets,
+                "bytes": r.bytes,
+                "first_seen": r.first_seen,
+                "last_seen": r.last_seen,
+                "alerts": r.alerts,
+                "app": r.app,
+            }
+            for k, r in self.flows.items()
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.flows = {
+            k: FlowRecord(
+                tuple_key=k,
+                packets=v["packets"],
+                bytes=v["bytes"],
+                first_seen=v["first_seen"],
+                last_seen=v["last_seen"],
+                alerts=v["alerts"],
+                app=v["app"],
+            )
+            for k, v in snap.items()
+        }

@@ -1,0 +1,68 @@
+"""Signature rules and matching.
+
+A simplified Suricata rule: protocol + optional port constraint +
+payload substring (``content:``) + per-flow threshold.  The default
+ruleset exercises all features and produces a realistic trickle of
+alerts on the synthetic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flows import FlowRecord
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class Rule:
+    sid: int
+    msg: str
+    proto: str | None = None          # None = any
+    dst_port: int | None = None
+    content: bytes | None = None      # payload substring
+    min_flow_packets: int = 0         # threshold: fire only after N pkts
+
+    def matches(self, pkt: Packet, flow: FlowRecord) -> bool:
+        if self.proto is not None and pkt.flow.proto != self.proto:
+            return False
+        if self.dst_port is not None and pkt.flow.dst_port != self.dst_port:
+            return False
+        if flow.packets < self.min_flow_packets:
+            return False
+        if self.content is not None and self.content not in pkt.payload:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Alert:
+    ts: float
+    sid: int
+    msg: str
+    flow_key: str
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    Rule(1000001, "ET SCAN suspicious SYN flood", proto="tcp", min_flow_packets=200),
+    Rule(1000002, "ET MALWARE beacon URI", proto="tcp", dst_port=80, content=b"/gate.php"),
+    Rule(1000003, "ET DNS oversized query", proto="udp", dst_port=53, min_flow_packets=50),
+    Rule(1000004, "ET POLICY cleartext credentials", proto="tcp", content=b"PASS "),
+    Rule(1000005, "ET EXPLOIT shellcode NOP sled", content=b"\x90\x90\x90\x90"),
+)
+
+
+class RuleSet:
+    def __init__(self, rules: tuple[Rule, ...] = DEFAULT_RULES):
+        self.rules = rules
+        self.alerts: list[Alert] = []
+
+    def inspect(self, pkt: Packet, flow: FlowRecord) -> list[Alert]:
+        fired = []
+        for r in self.rules:
+            if r.matches(pkt, flow):
+                a = Alert(pkt.ts, r.sid, r.msg, flow.tuple_key)
+                fired.append(a)
+                flow.alerts += 1
+        self.alerts.extend(fired)
+        return fired

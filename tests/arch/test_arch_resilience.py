@@ -1,0 +1,204 @@
+"""Architecture tests: checkpointing, snapshots, fail-over, watched."""
+
+import pytest
+
+from repro.arch.checkpointing import CheckpointedService
+from repro.arch.failover import FailoverRedis, FailoverSuricata
+from repro.arch.snapshot import RemoteAuditor
+from repro.arch.watched import WatchedRedis
+from repro.redislite import Command, DirectPort, RedisServer, WorkloadGenerator
+from repro.runtime.sim import Simulator
+
+
+class TestCheckpointing:
+    def _service(self):
+        sim = Simulator()
+        server = RedisServer()
+        ref = {}
+        svc = CheckpointedService(server, stall=lambda d: ref["p"].stall(d), sim=sim)
+        ref["p"] = DirectPort(sim, server)
+        return svc, server, ref["p"]
+
+    def test_snapshot_stored_remotely(self):
+        svc, server, port = self._service()
+        server.execute(Command("SET", "k", b"v"))
+        svc.checkpoint_now()
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.checkpoints == 1
+        assert svc.aud.snapshots_stored == 1
+        assert "k" in svc.aud.last_snapshot["store"]["entries"]
+
+    def test_crash_recovery_restores_state(self):
+        svc, server, port = self._service()
+        for i in range(10):
+            server.execute(Command("SET", f"k{i}", b"v"))
+        svc.checkpoint_now()
+        svc.system.run_until(svc.system.now + 2.0)
+        # writes after the checkpoint are lost on recovery
+        server.execute(Command("SET", "late", b"v"))
+        svc.crash()
+        svc.system.run_until(svc.system.now + 0.5)
+        svc.recover()
+        svc.system.run_until(svc.system.now + 3.0)
+        assert svc.restores == 1
+        assert server.store.exists("k3")
+        assert not server.store.exists("late")
+
+    def test_scheduled_checkpoints(self):
+        svc, server, port = self._service()
+        svc.schedule_checkpoints(interval=1.0, until=3.5)
+        svc.system.run_until(5.0)
+        assert svc.checkpoints == 3
+        assert svc.checkpoint_times == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_checkpoint_stalls_service(self):
+        svc, server, port = self._service()
+        for i in range(5000):
+            server.execute(Command("SET", f"k{i}", b"v"))
+        before = port._busy_until
+        svc.checkpoint_now()
+        svc.system.run_until(svc.system.now + 1.0)
+        assert port._busy_until > before
+
+    def test_works_for_suricata_pipeline_too(self):
+        """The paper's reuse claim: the same architecture wraps the
+        Suricata substrate unchanged."""
+        from repro.suricatalite import Pipeline, TraceGenerator
+
+        sim = Simulator()
+        pipeline = Pipeline()
+        stalls = []
+        svc = CheckpointedService(pipeline, stall=stalls.append, sim=sim)
+        for pkt in TraceGenerator(seed=1).packets(200):
+            pipeline.process(pkt)
+        svc.checkpoint_now()
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.aud.snapshots_stored == 1
+        flows_before = pipeline.ctx.flow_table.size()
+        svc.crash()
+        svc.recover()
+        svc.system.run_until(svc.system.now + 3.0)
+        assert pipeline.ctx.flow_table.size() == flows_before
+        assert stalls  # the freeze was charged
+
+
+class TestRemoteAuditor:
+    def test_audit_log_receives_snapshots(self):
+        aud = RemoteAuditor(placement="same-vm")
+        released = []
+        hook = aud.audit_hook()
+        hook({"done": 1, "total": 10}, lambda: released.append(1))
+        aud.system.run_until(aud.system.now + 2.0)
+        assert released == [1]
+        assert aud.audit_log == [{"done": 1, "total": 10}]
+
+    def test_cross_vm_slower_than_same_vm(self):
+        t = {}
+        for placement in ("same-vm", "cross-vm"):
+            aud = RemoteAuditor(placement=placement)
+            done = []
+            aud.audit_hook()({"x": 1}, lambda: done.append(aud.system.now))
+            aud.system.run_until(aud.system.now + 2.0)
+            t[placement] = done[0]
+        assert t["cross-vm"] > t["same-vm"]
+
+    def test_audit_failure_complains_and_releases(self):
+        aud = RemoteAuditor(placement="cross-vm", timeout=0.2)
+        aud.system.crash_instance("Aud")
+        released = []
+        aud.audit_hook()({"x": 1}, lambda: released.append(1))
+        aud.system.run_until(aud.system.now + 3.0)
+        assert released == [1]
+        assert aud.act.complaints == 1
+
+    def test_bad_placement(self):
+        with pytest.raises(ValueError):
+            RemoteAuditor(placement="moon")
+
+
+class TestFailover:
+    def test_both_backends_register(self):
+        svc = FailoverRedis(timeout=0.5)
+        assert svc.registered_backends() == ["b1", "b2"]
+        assert svc.system.failures == []
+
+    def test_requests_hit_both_replicas(self):
+        svc = FailoverRedis(timeout=0.5)
+        got = []
+        svc.submit(Command("SET", "k", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0].ok
+        assert svc.backend_app(0).executed == 1
+        assert svc.backend_app(1).executed == 1
+
+    def test_survives_backend_crash(self):
+        svc = FailoverRedis(timeout=0.5)
+        svc.fault_plan().crash("b1")
+        got = []
+        svc.submit(Command("SET", "k", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 10.0)
+        assert got and got[0].ok
+        assert svc.registered_backends() == ["b2"]
+
+    def test_crashed_backend_reregisters_after_restart(self):
+        svc = FailoverRedis(timeout=0.5, reactivate_poll=0.5)
+        svc.fault_plan().crash("b1")
+        got = []
+        svc.submit(Command("SET", "k", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 10.0)
+        svc.system.restart_instance("b1")
+        svc.system.run_until(svc.system.now + 15.0)
+        assert svc.registered_backends() == ["b1", "b2"]
+
+    def test_canonical_state_advances(self):
+        svc = FailoverRedis(timeout=0.5)
+        got = []
+        for i in range(3):
+            svc.submit(Command("SET", f"k{i}", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 6.0)
+        assert svc.front.seq == 3
+
+    def test_suricata_reuse(self):
+        svc = FailoverSuricata(timeout=0.5)
+        from repro.suricatalite import TraceGenerator
+
+        pkts = list(TraceGenerator(seed=2).packets(100))
+        got = []
+        svc.submit_packets(pkts, got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0]["processed"] == 100
+        assert svc.backend_app(0).payload.packets_processed == 100
+        assert svc.backend_app(1).payload.packets_processed == 100
+
+
+class TestWatched:
+    def test_serves_with_both_up(self):
+        svc = WatchedRedis(timeout=0.3)
+        got = []
+        svc.submit(Command("SET", "k", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0].ok
+        assert svc.focus() == "both"
+
+    def test_watchdog_flips_focus_on_primary_crash(self):
+        svc = WatchedRedis(timeout=0.3, watch_interval=0.25)
+        svc.fault_plan().crash("o")
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.focus() == "s"
+        got = []
+        svc.submit(Command("SET", "k", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0].ok
+
+    def test_watchdog_flips_to_primary_on_spare_crash(self):
+        svc = WatchedRedis(timeout=0.3, watch_interval=0.25)
+        svc.fault_plan().crash("s")
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.focus() == "o"
+
+    def test_unrecoverable_complains(self):
+        svc = WatchedRedis(timeout=0.3, watch_interval=0.25)
+        svc.fault_plan().crash("o")
+        svc.fault_plan().crash("s")
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.watch_complaints >= 1

@@ -1,0 +1,71 @@
+"""First-response-wins fail-over (sec. 7.3 improvement (i)) tests."""
+
+import pytest
+
+from repro.arch.failover import FailoverRedis, FastFailoverRedis
+from repro.redislite import Command
+
+
+def request_latencies(svc, n=8, op="SET"):
+    lats = []
+    for i in range(n):
+        t0 = svc.system.now
+        svc.submit(
+            Command(op, f"k{i}", b"v"),
+            lambda r, s=t0: lats.append((svc.system.now - s, r.ok)),
+        )
+        svc.system.run_until(svc.system.now + 2.0)
+    return lats
+
+
+class TestFastFailover:
+    def test_serves_correctly(self):
+        svc = FastFailoverRedis(timeout=0.5)
+        assert svc.registered_backends() == ["b1", "b2"]
+        lats = request_latencies(svc, 5)
+        assert all(ok for _l, ok in lats)
+        assert svc.system.failures == []
+
+    def test_both_replicas_stay_warm(self):
+        svc = FastFailoverRedis(timeout=0.5)
+        request_latencies(svc, 5)
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.backend_app(0).executed == 5
+        assert svc.backend_app(1).executed == 5
+
+    def test_faster_than_conservative_with_slow_replica(self):
+        """The headline: a single slow replica no longer sets the
+        response time."""
+        slow = (1, 0.05)  # replica b2 adds 50 ms per request
+        cons = FailoverRedis(timeout=0.5, slow_backend=slow)
+        fast = FastFailoverRedis(timeout=0.5, slow_backend=slow)
+        m_cons = sum(l for l, _ in request_latencies(cons)) / 8
+        m_fast = sum(l for l, _ in request_latencies(fast)) / 8
+        assert m_fast < m_cons / 5
+        assert m_cons > 0.05  # conservative pays the straggler
+        assert cons.system.failures == [] and fast.system.failures == []
+
+    def test_survives_backend_crash(self):
+        svc = FastFailoverRedis(timeout=0.5)
+        svc.fault_plan().crash("b1")
+        lats = request_latencies(svc, 3)
+        assert all(ok for _l, ok in lats)
+        assert svc.system.failures == []
+
+    def test_sequence_numbers_advance(self):
+        svc = FastFailoverRedis(timeout=0.5)
+        request_latencies(svc, 4)
+        assert svc.front.seq == 4
+
+    def test_stragglers_do_not_corrupt_next_request(self):
+        """With one very slow replica, request k's straggler reply must
+        not be consumed as request k+1's answer."""
+        svc = FastFailoverRedis(timeout=1.0, slow_backend=(1, 0.2))
+        svc.preload([Command("SET", "a", b"va"), Command("SET", "b", b"vb")])
+        got = []
+        svc.submit(Command("GET", "a"), got.append)
+        svc.system.run_until(svc.system.now + 0.05)  # b2's reply still pending
+        svc.submit(Command("GET", "b"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0].value == b"va"
+        assert got[1].value == b"vb"

@@ -1,0 +1,94 @@
+"""Live-migration architecture tests (extension; dsl/migration.csaw)."""
+
+import pytest
+
+from repro.arch.migration import MigratableRedis
+from repro.redislite import BenchDriver, Command, WorkloadGenerator
+
+
+def make(n_keys=100, **kw):
+    svc = MigratableRedis(**kw)
+    wl = WorkloadGenerator(n_keys=n_keys, seed=51)
+    svc.preload(wl.preload_commands())
+    return svc, wl
+
+
+class TestRouting:
+    def test_serves_from_active_node(self):
+        svc, wl = make()
+        got = []
+        svc.submit(Command("GET", wl._keys[0]), got.append)
+        svc.system.run_until(svc.system.now + 2.0)
+        assert got[0].ok and got[0].value is not None
+        assert svc.system.instance("NodeA").app.executed == 1
+        assert svc.system.instance("NodeB").app.executed == 0
+
+    def test_bench_runs_clean(self):
+        svc, wl = make(n_keys=200)
+        res = BenchDriver(svc.sim, svc, wl, clients=4).run(1.0)
+        assert res.count > 100
+        assert svc.system.failures == []
+
+
+class TestMigration:
+    def test_dataset_moves_and_routing_flips(self):
+        svc, wl = make(n_keys=150)
+        result = []
+        svc.migrate("NodeB", result.append)
+        svc.system.run_until(svc.system.now + 5.0)
+        assert result == [True]
+        assert svc.active == "NodeB"
+        assert svc.node_server("NodeB").store.size() == 150
+        got = []
+        svc.submit(Command("GET", wl._keys[3]), got.append)
+        svc.system.run_until(svc.system.now + 2.0)
+        assert got[0].value is not None
+        assert svc.system.instance("NodeB").app.executed == 1
+        assert svc.system.failures == []
+
+    def test_migrate_back_and_forth(self):
+        svc, wl = make(n_keys=60)
+        done = []
+        svc.migrate("NodeB", done.append)
+        svc.system.run_until(svc.system.now + 5.0)
+        svc.migrate("NodeA", done.append)
+        svc.system.run_until(svc.system.now + 5.0)
+        assert done == [True, True]
+        assert svc.active == "NodeA"
+        assert svc.front.migrations == 2
+
+    def test_requests_flow_during_migration(self):
+        svc, wl = make(n_keys=2000)
+        driver = BenchDriver(svc.sim, svc, wl, clients=4)
+        migrated = []
+        svc.sim.call_at(0.5, lambda: svc.migrate("NodeB", migrated.append))
+        res = driver.run(2.0)
+        assert migrated == [True]
+        assert res.count > 200
+        # requests were answered by both nodes across the switch
+        assert svc.system.instance("NodeA").app.executed > 0
+        assert svc.system.instance("NodeB").app.executed > 0
+        assert svc.system.failures == []
+
+    def test_migrate_to_active_rejected(self):
+        svc, _ = make()
+        with pytest.raises(ValueError):
+            svc.migrate("NodeA")
+
+    def test_unknown_node_rejected(self):
+        svc, _ = make()
+        with pytest.raises(ValueError):
+            svc.migrate("NodeZ")
+
+    def test_failed_migration_keeps_old_routing(self):
+        svc, wl = make(timeout=0.3)
+        svc.system.crash_instance("NodeB")
+        result = []
+        svc.migrate("NodeB", result.append)
+        svc.system.run_until(svc.system.now + 5.0)
+        assert result == [False]
+        assert svc.active == "NodeA"
+        got = []
+        svc.submit(Command("GET", wl._keys[0]), got.append)
+        svc.system.run_until(svc.system.now + 2.0)
+        assert got[0].ok

@@ -1,0 +1,106 @@
+"""Parallel sharding (sec. 7.1, Fig. 6) and subset-iteration tests."""
+
+import pytest
+
+from repro.arch.sharding import ParallelShardedRedis
+from repro.redislite import Command
+
+
+class TestSubsetIteration:
+    """The DSL machinery Fig. 6 needs: host-populated subsets iterated
+    by unrolling over the parent set with membership guards."""
+
+    def _system(self):
+        from repro.core.compiler import compile_program
+        from repro.runtime.system import System
+
+        src = """
+        instance_types { T }
+        instances { x: T }
+        def main() = start x()
+        def T::j() =
+          | set Backs = {a, b, c}
+          | subset tgt of Backs
+          | for e in Backs init prop !Seen[e]
+          host Choose {tgt};
+          for e in tgt ; assert[] Seen[e]
+        """
+        return System(compile_program(src))
+
+    def test_only_members_visited(self):
+        sys_ = self._system()
+        sys_.bind_host("T", "Choose", lambda ctx: ctx.set("tgt", ["a", "c"]))
+        sys_.start()
+        sys_.run_until(1.0)
+        assert sys_.read_state("x::j", "Seen[a]") is True
+        assert sys_.read_state("x::j", "Seen[b]") is False
+        assert sys_.read_state("x::j", "Seen[c]") is True
+
+    def test_empty_subset_visits_nothing(self):
+        sys_ = self._system()
+        sys_.bind_host("T", "Choose", lambda ctx: ctx.set("tgt", []))
+        sys_.start()
+        sys_.run_until(1.0)
+        for e in "abc":
+            assert sys_.read_state("x::j", f"Seen[{e}]") is False
+
+    def test_non_member_rejected(self):
+        sys_ = self._system()
+        sys_.bind_host("T", "Choose", lambda ctx: ctx.set("tgt", ["zzz"]))
+        sys_.start()
+        sys_.run_until(1.0)
+        assert any("HostError" == type(e).__name__ for _t, _n, e in sys_.failures)
+
+
+class TestParallelShardedRedis:
+    def test_all_replicas_execute(self):
+        svc = ParallelShardedRedis(n_backends=3, timeout=0.5)
+        got = []
+        svc.submit(Command("SET", "k", b"v"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0].ok
+        assert [svc.backend_app(i).executed for i in range(3)] == [1, 1, 1]
+        assert svc.system.failures == []
+
+    def test_replica_subset(self):
+        svc = ParallelShardedRedis(n_backends=3, replicas=2, timeout=0.5)
+        got = []
+        svc.preload([Command("SET", "k", b"v")])
+        svc.submit(Command("GET", "k"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        assert got[0].value == b"v"
+        assert [svc.backend_app(i).executed for i in range(3)] == [1, 1, 0]
+
+    def test_crash_deregisters_and_survives(self):
+        svc = ParallelShardedRedis(n_backends=3, timeout=0.5)
+        svc.preload([Command("SET", "k", b"v")])
+        svc.system.crash_instance("Bck2")
+        got = []
+        svc.submit(Command("GET", "k"), got.append)
+        svc.system.run_until(svc.system.now + 5.0)
+        assert got[0].ok and got[0].value == b"v"
+        assert svc.active_backends() == ["Bck1", "Bck3"]
+        assert svc.system.failures == []
+
+    def test_deregistered_backend_skipped_next_time(self):
+        svc = ParallelShardedRedis(n_backends=2, timeout=0.3)
+        svc.preload([Command("SET", "k", b"v")])
+        svc.system.crash_instance("Bck1")
+        got = []
+        svc.submit(Command("GET", "k"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        t_first = svc.system.now
+        svc.submit(Command("GET", "k"), got.append)
+        svc.system.run_until(svc.system.now + 3.0)
+        # the second request does not pay Bck1's timeout again
+        assert got[1].ok
+        assert svc.backend_app(1).executed == 2
+
+    def test_all_backends_down_complains(self):
+        svc = ParallelShardedRedis(n_backends=2, timeout=0.3)
+        svc.system.crash_instance("Bck1")
+        svc.system.crash_instance("Bck2")
+        got = []
+        svc.submit(Command("GET", "k"), got.append)
+        svc.system.run_until(svc.system.now + 5.0)
+        assert got and not got[0].ok

@@ -1,0 +1,94 @@
+"""FrontApp / BackApp plumbing tests."""
+
+from repro.arch.ports import BackApp, FrontApp
+from repro.core.compiler import compile_program
+from repro.runtime.system import System
+
+SRC = """
+instance_types { T }
+instances { x: T }
+def main() = start x()
+def T::j() = | init prop !Req
+  skip
+"""
+
+
+def front():
+    sys_ = System(compile_program(SRC))
+    sys_.start()
+    return FrontApp(sys_, "x::j"), sys_
+
+
+class TestFrontApp:
+    def test_submit_asserts_req(self):
+        app, sys_ = front()
+        app.submit({"op": "GET"}, lambda r: None)
+        sys_.run_until(0.1)
+        assert sys_.read_state("x::j", "Req") is True
+
+    def test_begin_next_pops_fifo(self):
+        app, sys_ = front()
+        app.submit({"id": 1}, lambda r: None)
+        app.submit({"id": 2}, lambda r: None)
+        assert app.begin_next() == {"id": 1}
+        app.current = None  # pretend completed
+        assert app.begin_next() == {"id": 2}
+
+    def test_begin_next_empty(self):
+        app, _ = front()
+        assert app.begin_next() is None
+
+    def test_respond_completes_with_reply(self):
+        app, _ = front()
+        got = []
+        app.submit({"id": 1}, got.append)
+        app.begin_next()
+        app.set_reply({"ok": True})
+        app.respond()
+        assert got == [{"ok": True}]
+        assert app.completed == 1
+        assert app.current is None
+
+    def test_fail_current(self):
+        app, _ = front()
+        got = []
+        app.submit({"id": 1}, got.append)
+        app.begin_next()
+        app.fail_current()
+        assert got == [None]
+        assert app.failed == 1
+
+    def test_abandoned_request_failed_on_next_begin(self):
+        app, _ = front()
+        got = []
+        app.submit({"id": 1}, got.append)
+        app.submit({"id": 2}, got.append)
+        app.begin_next()
+        # junction died before Respond; next scheduling cleans up
+        nxt = app.begin_next()
+        assert nxt == {"id": 2}
+        assert got == [None]
+        assert app.failed == 1
+
+    def test_rearm_when_queue_nonempty(self):
+        app, sys_ = front()
+        app.submit({"id": 1}, lambda r: None)
+        app.submit({"id": 2}, lambda r: None)
+        sys_.run_until(0.1)
+        app.begin_next()
+        app.set_reply({})
+        # consume the Req, then respond: a fresh Req must be asserted
+        sys_.junction("x::j").table.set_local("Req", False)
+        app.respond()
+        sys_.run_until(0.2)
+        assert sys_.read_state("x::j", "Req") is True
+
+
+class TestBackApp:
+    def test_receive_and_reply(self):
+        app = BackApp(payload="server")
+        app.receive({"op": "GET"})
+        assert app.current == {"op": "GET"}
+        app.set_reply({"ok": True})
+        assert app.reply == {"ok": True}
+        assert app.executed == 1

@@ -1,0 +1,108 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+instance_types { T }
+instances { x: T }
+def main() = start x()
+def T::j() =
+  | init prop !P
+  assert[] P
+"""
+
+BAD = """
+instance_types { T }
+instances { x: Nope }
+def main() = start x()
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    f = tmp_path / "arch.csaw"
+    f.write_text(GOOD)
+    return str(f)
+
+
+class TestCheck:
+    def test_ok(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_program(self, tmp_path, capsys):
+        f = tmp_path / "bad.csaw"
+        f.write_text(BAD)
+        assert main(["check", str(f)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.csaw"]) == 1
+
+    def test_config_values(self, tmp_path, capsys):
+        f = tmp_path / "cfg.csaw"
+        f.write_text(
+            """
+            instance_types { T }
+            instances { x: T }
+            def main() = start x()
+            def T::j() =
+              | set Backs
+              | for b in Backs init prop !Up[b]
+              skip
+            """
+        )
+        assert main(["check", str(f), "--config", "Backs=a,b"]) == 0
+
+
+class TestFmt:
+    def test_prints_normalized(self, good_file, capsys):
+        assert main(["fmt", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "instance_types { T }" in out
+        from repro.core.parser import parse_program
+
+        assert parse_program(out) == parse_program(GOOD)
+
+    def test_write_in_place(self, good_file, capsys):
+        assert main(["fmt", good_file, "--write"]) == 0
+        assert main(["check", good_file]) == 0
+
+
+class TestTopo:
+    def test_edges_listed(self, tmp_path, capsys):
+        f = tmp_path / "t.csaw"
+        f.write_text(
+            """
+            instance_types { F, G }
+            instances { f: F, g: G }
+            def main() = start f() + start g()
+            def F::j() = | init prop !W
+              assert[g] W
+            def G::j() = | init prop !W
+              skip
+            """
+        )
+        assert main(["topo", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "f::j -> g::j" in out
+
+
+class TestSemantics:
+    def test_text_output(self, good_file, capsys):
+        assert main(["semantics", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "== startup ==" in out
+        assert "Sched_x::j" in out
+
+    def test_dot_output(self, good_file, capsys):
+        assert main(["semantics", good_file, "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestLoc:
+    def test_counts(self, good_file, capsys):
+        assert main(["loc", good_file]) == 0
+        assert int(capsys.readouterr().out.strip()) == 6

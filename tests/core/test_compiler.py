@@ -1,0 +1,77 @@
+"""Compilation pipeline tests."""
+
+import pytest
+
+from repro.core import ast as A
+from repro.core.compiler import compile_program
+from repro.core.errors import CompileError, ValidationError
+
+SRC = """
+instance_types { F, B }
+instances { f: F, b1: B, b2: B }
+
+def main(t) = start f(t) + start b1(t) + start b2(t)
+
+def complain() = host Complain; return
+
+def F::j(t) =
+  | init prop !Work
+  | init data n
+  save(n); write(n, b1) otherwise[t] complain()
+
+def B::j(t) =
+  | init prop !Work
+  | guard Work
+  skip
+"""
+
+
+class TestCompile:
+    def test_compiles_from_text(self):
+        prog = compile_program(SRC)
+        assert {j.qualified for j in prog.junctions} == {"F::j", "B::j"}
+
+    def test_functions_inlined(self):
+        prog = compile_program(SRC)
+        fj = prog.junction("F", "j")
+        # no Call nodes remain
+        assert not [e for e in A.walk(fj.body) if isinstance(e, A.Call)]
+        # complain's body appears inside the otherwise handler
+        hosts = [e for e in A.walk(fj.body) if isinstance(e, A.HostBlock)]
+        assert any(h.name == "Complain" for h in hosts)
+
+    def test_missing_junction_lookup(self):
+        prog = compile_program(SRC)
+        with pytest.raises(CompileError):
+            prog.junction("F", "nope")
+
+    def test_junctions_of_type(self):
+        prog = compile_program(SRC)
+        assert len(prog.junctions_of_type("B")) == 1
+
+    def test_validation_runs(self):
+        bad = SRC.replace("instances { f: F, b1: B, b2: B }", "instances { f: Zed }")
+        with pytest.raises(ValidationError):
+            compile_program(bad)
+
+    def test_config_env_lifts_values(self):
+        prog = compile_program(SRC, config={"t": 5, "Backs": ["b1", "b2"]})
+        env = prog.config_env()
+        assert env["t"] == A.Num(5.0)
+        assert env["Backs"] == A.SetLit((A.ref("b1"), A.ref("b2")))
+
+    def test_instance_map(self):
+        prog = compile_program(SRC)
+        assert prog.instance_map()["b2"] == "B"
+
+    def test_compile_parsed_program(self):
+        from repro.core.parser import parse_program
+
+        prog = compile_program(parse_program(SRC))
+        assert prog.main is not None
+
+    def test_if_desugared(self):
+        src = SRC.replace("skip\n", "if Work then skip else skip\n")
+        prog = compile_program(src)
+        bj = prog.junction("B", "j")
+        assert not [e for e in A.walk(bj.body) if isinstance(e, A.If)]

@@ -1,0 +1,264 @@
+"""Template expansion: inlining, for unrolling, substitution, me-resolution."""
+
+import pytest
+
+from repro.core import ast as A
+from repro.core.errors import ExpansionError
+from repro.core.expand import (
+    inline_functions,
+    resolve_me_expr,
+    resolve_me_formula,
+    specialize,
+    subst_arg,
+    subst_expr,
+    to_ast_value,
+    unroll_expr,
+    unroll_formula,
+)
+from repro.core.formula import And, FalseF, Not, Or, Prop, TRUE
+from repro.core.parser import parse_expression, parse_formula
+
+
+def lit(*names):
+    return A.SetLit(tuple(A.ref(n) for n in names))
+
+
+class TestToAstValue:
+    def test_string_becomes_ref(self):
+        assert to_ast_value("b1::serve") == A.ref("b1::serve")
+
+    def test_number(self):
+        assert to_ast_value(3) == A.Num(3.0)
+
+    def test_list_becomes_setlit(self):
+        assert to_ast_value(["a", 1]) == A.SetLit((A.ref("a"), A.Num(1.0)))
+
+    def test_bool_rejected(self):
+        with pytest.raises(ExpansionError):
+            to_ast_value(True)
+
+
+class TestSubstitution:
+    def test_simple_ref(self):
+        assert subst_arg(A.ref("x"), {"x": A.Num(5.0)}) == A.Num(5.0)
+
+    def test_arith_folding(self):
+        e = A.BinArith("*", A.Num(3.0), A.ref("t"))
+        assert subst_arg(e, {"t": A.Num(2.0)}) == A.Num(6.0)
+
+    def test_qualified_head_substitution(self):
+        # b bound to an instance; b::serve becomes inst::serve
+        out = subst_arg(A.ref("b::serve"), {"b": A.ref("b1")})
+        assert out == A.ref("b1::serve")
+
+    def test_prop_name_substitution(self):
+        e = parse_expression("assert[tgt] verdict")
+        out = subst_expr(e, {"verdict": A.ref("failover"), "tgt": A.ref("s")})
+        assert out == A.Assert(A.ref("s"), "failover", None)
+
+    def test_prop_param_must_be_simple(self):
+        e = parse_expression("assert[] verdict")
+        with pytest.raises(ExpansionError):
+            subst_expr(e, {"verdict": A.ref("a::b")})
+
+    def test_for_var_shadowing(self):
+        e = parse_expression("for x in {a} ; write(x, f)")
+        out = subst_expr(e, {"x": A.ref("OUTER")})
+        # the bound x inside the loop must not be replaced
+        assert isinstance(out, A.For)
+        assert out.body == A.Write("x", A.ref("f"))
+
+
+class TestInlining:
+    def _prog(self):
+        from repro.core.parser import parse_program
+
+        return parse_program(
+            """
+            instance_types { T }
+            instances { x: T }
+            def main() = start x()
+            def complain() = host Complain; return
+            def Init(tgt) =
+              | init prop !Started[tgt]
+              assert[tgt] Go
+            def T::j(t) = Init(x); complain()
+            """
+        )
+
+    def test_inline_body_and_decls(self):
+        p = self._prog()
+        body, decls = inline_functions(p.defs[0].body, p.function_map())
+        assert decls == (A.InitProp("Started", False, A.ref("x")),)
+        assert isinstance(body, A.Seq)
+        assert body.items[0] == A.Assert(A.ref("x"), "Go", None)
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpansionError):
+            inline_functions(A.Call("nope", ()), {})
+
+    def test_wrong_arity(self):
+        p = self._prog()
+        with pytest.raises(ExpansionError):
+            inline_functions(A.Call("Init", ()), p.function_map())
+
+    def test_recursive_template_rejected(self):
+        from repro.core.parser import parse_program
+
+        p = parse_program(
+            """
+            instance_types { T }
+            instances { x: T }
+            def main() = start x()
+            def loop() = loop()
+            def T::j() = loop()
+            """
+        )
+        with pytest.raises(ExpansionError):
+            inline_functions(p.defs[0].body, p.function_map())
+
+    def test_if_desugars_to_case(self):
+        body, _ = inline_functions(parse_expression("if A then skip else retry"), {})
+        assert isinstance(body, A.Case)
+        assert body.arms[0].terminator == "break"
+        assert isinstance(body.otherwise, A.Retry)
+
+    def test_if_without_else(self):
+        body, _ = inline_functions(parse_expression("if A then retry"), {})
+        assert isinstance(body.otherwise, A.Skip)
+
+
+class TestForUnrolling:
+    def test_seq_unroll(self):
+        e = parse_expression("for b in {x, y} ; write(n, b)")
+        out = unroll_expr(e, {})
+        assert out == A.Seq((A.Write("n", A.ref("x")), A.Write("n", A.ref("y"))))
+
+    def test_par_unroll(self):
+        e = parse_expression("for b in {x, y} + skip")
+        out = unroll_expr(e, {})
+        assert isinstance(out, A.Par)
+
+    def test_singleton_set(self):
+        e = parse_expression("for b in {x} ; write(n, b)")
+        assert unroll_expr(e, {}) == A.Write("n", A.ref("x"))
+
+    def test_empty_set_is_skip(self):
+        e = A.For("b", A.SetLit(()), ";", A.Skip())
+        assert unroll_expr(e, {}) == A.Skip()
+
+    def test_otherwise_unroll_right_assoc(self):
+        e = parse_expression("for b in {x, y, z} otherwise[t] write(n, b)")
+        out = unroll_expr(e, {"t": A.Num(1.0)})
+        assert isinstance(out, A.Otherwise)
+        assert out.body == A.Write("n", A.ref("x"))
+        assert isinstance(out.handler, A.Otherwise)
+        assert out.handler.body == A.Write("n", A.ref("y"))
+        assert out.handler.handler == A.Write("n", A.ref("z"))
+
+    def test_set_from_env(self):
+        e = parse_expression("for b in backs ; write(n, b)")
+        out = unroll_expr(e, {"backs": lit("p", "q")})
+        assert len(out.items) == 2
+
+    def test_unresolved_set_raises(self):
+        e = parse_expression("for b in nowhere ; skip")
+        with pytest.raises(ExpansionError):
+            unroll_expr(e, {})
+
+    def test_nested_for(self):
+        e = parse_expression("for a in {x, y} ; (for b in {u, v} + skip)")
+        out = unroll_expr(e, {})
+        assert isinstance(out, A.Seq)
+        assert all(isinstance(i, A.Par) for i in out.items)
+
+    def test_for_arm_expansion(self):
+        e = parse_expression(
+            """case {
+                for b in {x, y} Init[b] => assert[] Done; break
+                otherwise => skip
+            }"""
+        )
+        out = unroll_expr(e, {})
+        assert len(out.arms) == 2
+        assert out.arms[0].formula == Prop("Init", A.ref("x"))
+
+
+class TestFormulaUnrolling:
+    def test_and_unroll(self):
+        f = parse_formula("for b in {x, y} && Ready[b]")
+        out = unroll_formula(f, {})
+        assert out == And(Prop("Ready", A.ref("x")), Prop("Ready", A.ref("y")))
+
+    def test_or_empty_is_false(self):
+        f = A.ForFormula("b", A.SetLit(()), "||", Prop("P", A.ref("b")))
+        assert unroll_formula(f, {}) == FalseF()
+
+    def test_and_empty_is_true(self):
+        f = A.ForFormula("b", A.SetLit(()), "&&", Prop("P", A.ref("b")))
+        assert unroll_formula(f, {}) == TRUE
+
+
+class TestSpecialize:
+    def test_for_init_expands(self):
+        decls = (A.ForInit("b", lit("p", "q"), A.InitProp("R", False, A.ref("b"))),)
+        _, out = specialize(A.Skip(), decls, {})
+        assert out == (
+            A.InitProp("R", False, A.ref("p")),
+            A.InitProp("R", False, A.ref("q")),
+        )
+
+    def test_set_decl_literal_feeds_later_iteration(self):
+        decls = (
+            A.SetDecl("Backs", lit("p", "q")),
+            A.ForInit("b", A.ref("Backs"), A.InitProp("R", False, A.ref("b"))),
+        )
+        _, out = specialize(A.Skip(), decls, {})
+        assert len([d for d in out if isinstance(d, A.InitProp)]) == 2
+
+    def test_set_decl_from_config(self):
+        decls = (A.SetDecl("Backs", None),)
+        _, out = specialize(A.Skip(), decls, {"Backs": lit("a")})
+        assert isinstance(out[0], A.SetDecl)
+
+    def test_set_decl_missing_value(self):
+        with pytest.raises(ExpansionError):
+            specialize(A.Skip(), (A.SetDecl("Backs", None),), {})
+
+    def test_param_substitution_in_body(self):
+        body = parse_expression("write(n, dest)")
+        out, _ = specialize(body, (), {"dest": A.ref("Aud")})
+        assert out == A.Write("n", A.ref("Aud"))
+
+    def test_guard_unrolled(self):
+        decls = (A.Guard(parse_formula("for b in backs || Up[b]")),)
+        _, out = specialize(A.Skip(), decls, {"backs": lit("p")})
+        assert out[0].formula == Prop("Up", A.ref("p"))
+
+
+class TestResolveMe:
+    def test_me_junction_index(self):
+        f = parse_formula("Running[me::junction]")
+        out = resolve_me_formula(f, "b1", "serve")
+        assert out == Prop("Running", A.ref("b1::serve"))
+
+    def test_me_instance_junction_target(self):
+        e = parse_expression("assert[me::instance::reactivate] Recent")
+        out = resolve_me_expr(e, "b1", "serve")
+        assert out.target == A.ref("b1::reactivate")
+
+    def test_me_instance_at_guard(self):
+        f = parse_formula("me::instance::serve@!Active")
+        out = resolve_me_formula(f, "b2", "startup")
+        assert out.junction == A.ref("b2::serve")
+
+    def test_non_me_untouched(self):
+        e = parse_expression("write(n, f::c)")
+        assert resolve_me_expr(e, "b1", "serve") == e
+
+    def test_nested_in_case(self):
+        e = parse_expression(
+            "case { Running[me::junction] => skip; break otherwise => skip }"
+        )
+        out = resolve_me_expr(e, "b1", "serve")
+        assert out.arms[0].formula == Prop("Running", A.ref("b1::serve"))

@@ -1,0 +1,175 @@
+"""Formula evaluation, DNF and ternary logic tests."""
+
+import pytest
+
+from repro.core.formula import (
+    And,
+    At,
+    DNF_FALSE,
+    DNF_TRUE,
+    FalseF,
+    Implies,
+    Live,
+    Not,
+    Or,
+    Prop,
+    TRUE,
+    UNKNOWN,
+    dnf_to_formula,
+    evaluate,
+    evaluate_bool,
+    propositions,
+    to_dnf,
+)
+
+
+def env_of(d):
+    return lambda k: d.get(k, UNKNOWN)
+
+
+class TestEvaluation:
+    def test_prop_lookup(self):
+        assert evaluate(Prop("A"), env_of({"A": True})) is True
+        assert evaluate(Prop("A"), env_of({"A": False})) is False
+
+    def test_false_constant(self):
+        assert evaluate(FalseF(), env_of({})) is False
+
+    def test_true_sugar(self):
+        assert evaluate(TRUE, env_of({})) is True
+
+    def test_not(self):
+        assert evaluate(Not(Prop("A")), env_of({"A": True})) is False
+
+    def test_and_or(self):
+        e = env_of({"A": True, "B": False})
+        assert evaluate(And(Prop("A"), Prop("B")), e) is False
+        assert evaluate(Or(Prop("A"), Prop("B")), e) is True
+
+    def test_implies(self):
+        e = env_of({"A": True, "B": False})
+        assert evaluate(Implies(Prop("A"), Prop("B")), e) is False
+        assert evaluate(Implies(Prop("B"), Prop("A")), e) is True
+
+    def test_indexed_prop_key(self):
+        p = Prop("Work", "b1")
+        assert p.key() == "Work[b1]"
+        assert evaluate(p, env_of({"Work[b1]": True})) is True
+
+
+class TestTernary:
+    def test_unknown_propagates_through_not(self):
+        assert evaluate(Not(Prop("X")), env_of({})) is UNKNOWN
+
+    def test_and_short_circuit_false_beats_unknown(self):
+        e = env_of({"A": False})
+        assert evaluate(And(Prop("A"), Prop("X")), e) is False
+        assert evaluate(And(Prop("X"), Prop("A")), e) is False
+
+    def test_or_short_circuit_true_beats_unknown(self):
+        e = env_of({"A": True})
+        assert evaluate(Or(Prop("A"), Prop("X")), e) is True
+
+    def test_and_unknown_when_undecided(self):
+        e = env_of({"A": True})
+        assert evaluate(And(Prop("A"), Prop("X")), e) is UNKNOWN
+
+    def test_at_without_resolver_is_unknown(self):
+        assert evaluate(At("j", Prop("A")), env_of({"A": True})) is UNKNOWN
+
+    def test_at_with_resolver(self):
+        def at(j, body):
+            return evaluate(body, env_of({"A": False}))
+
+        assert evaluate(At("j", Prop("A")), env_of({}), at=at) is False
+
+    def test_live_with_resolver(self):
+        assert evaluate(Live("o"), env_of({}), live=lambda i: True) is True
+
+    def test_implies_guards_unknown(self):
+        # live(s) -> s@X with s down: antecedent False makes the whole
+        # implication True even though the consequent is UNKNOWN
+        f = Implies(Live("s"), At("s", Prop("X")))
+        v = evaluate(f, env_of({}), live=lambda i: False, at=lambda j, b: UNKNOWN)
+        assert v is True
+
+    def test_evaluate_bool_collapses_unknown(self):
+        assert evaluate_bool(Prop("X"), env_of({})) is False
+
+    def test_unknown_has_no_truthiness(self):
+        with pytest.raises(TypeError):
+            bool(UNKNOWN)
+
+
+class TestPropositions:
+    def test_collects_flat_keys(self):
+        f = And(Prop("A"), Or(Not(Prop("B", "i")), Prop("C")))
+        assert propositions(f) == frozenset({"A", "B[i]", "C"})
+
+    def test_excludes_at_scope(self):
+        f = And(Prop("A"), At("j", Prop("B")))
+        assert propositions(f) == frozenset({"A"})
+
+
+class TestDNF:
+    def test_false(self):
+        assert to_dnf(FalseF()) == DNF_FALSE
+
+    def test_true(self):
+        assert to_dnf(TRUE) == DNF_TRUE
+
+    def test_single_prop(self):
+        assert to_dnf(Prop("A")) == frozenset({frozenset({("A", True)})})
+
+    def test_negated_prop(self):
+        assert to_dnf(Not(Prop("A"))) == frozenset({frozenset({("A", False)})})
+
+    def test_distribution(self):
+        f = And(Prop("A"), Or(Prop("B"), Prop("C")))
+        dnf = to_dnf(f)
+        assert dnf == frozenset(
+            {
+                frozenset({("A", True), ("B", True)}),
+                frozenset({("A", True), ("C", True)}),
+            }
+        )
+
+    def test_contradiction_dropped(self):
+        f = And(Prop("A"), Not(Prop("A")))
+        assert to_dnf(f) == DNF_FALSE
+
+    def test_subsumption(self):
+        # A || (A && B) == A
+        f = Or(Prop("A"), And(Prop("A"), Prop("B")))
+        assert to_dnf(f) == frozenset({frozenset({("A", True)})})
+
+    def test_implies_expansion(self):
+        f = Implies(Prop("A"), Prop("B"))
+        assert to_dnf(f) == to_dnf(Or(Not(Prop("A")), Prop("B")))
+
+    def test_double_negation(self):
+        assert to_dnf(Not(Not(Prop("A")))) == to_dnf(Prop("A"))
+
+    def test_de_morgan(self):
+        f = Not(And(Prop("A"), Prop("B")))
+        assert to_dnf(f) == to_dnf(Or(Not(Prop("A")), Not(Prop("B"))))
+
+    def test_roundtrip_formula(self):
+        f = Or(And(Prop("A"), Not(Prop("B"))), Prop("C"))
+        rebuilt = dnf_to_formula(to_dnf(f))
+        assert to_dnf(rebuilt) == to_dnf(f)
+
+    def test_rejects_at(self):
+        with pytest.raises(TypeError):
+            to_dnf(At("j", Prop("A")))
+
+
+class TestOperators:
+    def test_python_operator_sugar(self):
+        f = Prop("A") & ~Prop("B") | Prop("C")
+        assert isinstance(f, Or)
+        assert isinstance(f.left, And)
+
+    def test_str_rendering(self):
+        f = And(Prop("A"), Or(Prop("B"), Not(Prop("C"))))
+        assert str(f) == "A && (B || !C)"

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the DSL core."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ast as A
+from repro.core.expand import unroll_expr, unroll_formula
+from repro.core.formula import (
+    And,
+    FalseF,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    UNKNOWN,
+    dnf_to_formula,
+    evaluate,
+    propositions,
+    to_dnf,
+)
+from repro.core.lexer import tokenize
+from repro.core.parser import parse_formula
+
+PROPS = ["A", "B", "C", "D"]
+
+
+def formulas(depth=4):
+    base = st.sampled_from([Prop(p) for p in PROPS] + [FalseF()])
+    return st.recursive(
+        base,
+        lambda inner: st.one_of(
+            st.builds(Not, inner),
+            st.builds(And, inner, inner),
+            st.builds(Or, inner, inner),
+            st.builds(Implies, inner, inner),
+        ),
+        max_leaves=12,
+    )
+
+
+def eval_dnf(dnf, assignment):
+    return any(
+        all(assignment[key] is pol for key, pol in clause) for clause in dnf
+    )
+
+
+class TestDnfProperties:
+    @given(formulas())
+    @settings(max_examples=200)
+    def test_dnf_preserves_truth_table(self, f):
+        dnf = to_dnf(f)
+        keys = sorted(propositions(f) | {k for c in dnf for k, _ in c})
+        for values in itertools.product([False, True], repeat=len(keys)):
+            assignment = dict(zip(keys, values))
+            direct = evaluate(f, lambda k: assignment[k])
+            via_dnf = eval_dnf(dnf, assignment)
+            assert direct is via_dnf
+
+    @given(formulas())
+    @settings(max_examples=100)
+    def test_dnf_roundtrip_fixpoint(self, f):
+        dnf = to_dnf(f)
+        assert to_dnf(dnf_to_formula(dnf)) == dnf
+
+    @given(formulas())
+    @settings(max_examples=100)
+    def test_dnf_clauses_noncontradictory(self, f):
+        for clause in to_dnf(f):
+            keys = [k for k, _ in clause]
+            assert len(keys) == len(set(keys))
+
+    @given(formulas(), formulas())
+    @settings(max_examples=100)
+    def test_demorgan_equivalence(self, f, g):
+        assert to_dnf(Not(And(f, g))) == to_dnf(Or(Not(f), Not(g)))
+
+
+class TestTernaryProperties:
+    @given(formulas())
+    @settings(max_examples=150)
+    def test_kleene_monotonicity(self, f):
+        """Refining UNKNOWN to a value never flips a decided result."""
+        keys = sorted(propositions(f))
+        if not keys:
+            return
+        partial = {k: UNKNOWN for k in keys}
+        partial[keys[0]] = True
+        v_partial = evaluate(f, lambda k: partial[k])
+        if v_partial is UNKNOWN:
+            return
+        for values in itertools.product([False, True], repeat=len(keys) - 1):
+            full = dict(zip(keys[1:], values))
+            full[keys[0]] = True
+            assert evaluate(f, lambda k: full[k]) is v_partial
+
+    @given(formulas())
+    @settings(max_examples=100)
+    def test_negation_involution(self, f):
+        env = {p: True for p in PROPS}
+        assert evaluate(Not(Not(f)), lambda k: env.get(k, False)) is evaluate(
+            f, lambda k: env.get(k, False)
+        )
+
+
+class TestFormulaParsingProperties:
+    @given(formulas())
+    @settings(max_examples=150)
+    def test_str_parse_roundtrip(self, f):
+        """str() output re-parses to a logically equivalent formula."""
+        reparsed = parse_formula(str(f))
+        assert to_dnf(reparsed) == to_dnf(f)
+
+    @given(st.text(alphabet="abcXYZ_01 ()!&|", max_size=30))
+    @settings(max_examples=100)
+    def test_lexer_never_crashes_unexpectedly(self, text):
+        try:
+            tokens = tokenize(text)
+        except Exception as e:
+            from repro.core.errors import ParseError
+
+            assert isinstance(e, ParseError)
+        else:
+            assert tokens[-1].kind == "eof"
+
+
+class TestForUnrollProperties:
+    names = st.lists(
+        st.sampled_from(["p", "q", "r", "s"]), min_size=0, max_size=4, unique=True
+    )
+
+    @given(names, st.sampled_from([";", "+", "||"]))
+    @settings(max_examples=100)
+    def test_unroll_element_count(self, elems, op):
+        body = A.Write("n", A.ref("b"))
+        e = A.For("b", A.SetLit(tuple(A.ref(x) for x in elems)), op, body)
+        out = unroll_expr(e, {})
+        writes = [x for x in A.walk(out) if isinstance(x, A.Write)]
+        if not elems:
+            assert out == A.Skip()
+        else:
+            assert len(writes) == len(elems)
+            assert [w.target for w in writes] == [A.ref(x) for x in elems]
+
+    @given(names)
+    @settings(max_examples=50)
+    def test_formula_unroll_matches_manual_fold(self, elems):
+        f = A.ForFormula(
+            "b", A.SetLit(tuple(A.ref(x) for x in elems)), "||", Prop("Up", A.ref("b"))
+        )
+        out = unroll_formula(f, {})
+        env = {f"Up[{x}]": (x in ("p", "q")) for x in elems}
+        expected = any(env.get(f"Up[{x}]", False) for x in elems)
+        got = evaluate(out, lambda k: env.get(k, False))
+        assert got is expected

@@ -1,0 +1,150 @@
+"""End-to-end integration tests: each paper experiment's *shape* at
+small scale (the full-scale versions live in benchmarks/)."""
+
+import pytest
+
+from repro.arch.caching import CachedRedis
+from repro.arch.checkpointing import CheckpointedService
+from repro.arch.sharding import ShardedRedis, ShardedSuricata
+from repro.arch.snapshot import RemoteAuditor
+from repro.curlite import FileServer, run_sweep
+from repro.redislite import (
+    BenchDriver,
+    Command,
+    DirectPort,
+    RedisServer,
+    WorkloadGenerator,
+    djb2,
+)
+from repro.runtime.sim import Simulator
+from repro.suricatalite import TraceGenerator
+
+
+class TestFig23aCheckpointShape:
+    def test_dips_at_checkpoints_and_crash(self):
+        sim = Simulator()
+        server = RedisServer()
+        ref = {}
+        svc = CheckpointedService(server, stall=lambda d: ref["p"].stall(d), sim=sim)
+        port = ref["p"] = DirectPort(sim, server)
+        wl = WorkloadGenerator(n_keys=2000, get_ratio=0.7, seed=20)
+        for cmd in wl.preload_commands():
+            server.execute(cmd)
+        svc.schedule_checkpoints(interval=5.0, until=20.0)
+        sim.call_at(12.0, lambda: (svc.crash(), port.stall(0.5)))
+        sim.call_at(12.5, svc.recover)
+        res = BenchDriver(sim, port, wl, clients=8).run(20.0)
+        series = dict(res.qps_series(1.0))
+        steady = series[2.0]
+        assert series[5.0] < steady          # checkpoint dip
+        assert series[12.0] < series[5.0]    # crash dip is deeper
+        assert series[17.0] == pytest.approx(steady, rel=0.05)  # recovered
+        assert svc.restores == 1
+
+
+class TestFig23bShardByKey:
+    def test_cumulative_ratios_match_workload(self):
+        svc = ShardedRedis(n_shards=4)
+        wl = WorkloadGenerator(n_keys=400, seed=21, shard_weights=(4, 2, 1, 1))
+        svc.preload(wl.preload_commands())
+        res = BenchDriver(svc.sim, svc, wl, clients=4).run(2.0)
+        data = res.cumulative_by(lambda c: djb2(c.key) % 4)
+        finals = {cls: s[-1] for cls, s in data["series"].items()}
+        # the uneven workload's 4:2:1:1 pressure shows in the ratios
+        assert finals[0] > 1.5 * finals[1] > 2.0 * finals[2]
+        assert abs(finals[2] - finals[3]) < 0.35 * finals[2] + 30
+
+
+class TestFig23cCachingGain:
+    def test_caching_beats_no_caching_under_skew(self):
+        results = {}
+        for label, capacity in (("with", 150), ("without", 0)):
+            svc = CachedRedis(capacity=max(1, capacity))
+            if capacity == 0:
+                svc.cache.capacity = 0  # effectively disabled
+            wl = WorkloadGenerator(n_keys=1000, get_ratio=0.9, skew=(0.1, 0.9), seed=22)
+            svc.preload(wl.preload_commands())
+            res = BenchDriver(svc.sim, svc, wl, clients=4).run(2.0)
+            results[label] = res.count
+        assert results["with"] > results["without"] * 1.02
+
+
+class TestFig24SuricataShard:
+    def test_5tuple_steering_uneven_but_complete(self):
+        svc = ShardedSuricata(n_shards=4, batch_size=100)
+        gen = TraceGenerator(n_flows=80, packets_per_second=2000, duration=5, seed=23)
+        for pkt in gen.packets():
+            svc.feed(pkt)
+        svc.flush_all()
+        svc.system.run_until(svc.system.now + 20.0)
+        done = sum(n for _, _, n in svc.packets_done)
+        assert done == 10_000
+        per_shard = [0, 0, 0, 0]
+        for _, s, n in svc.packets_done:
+            per_shard[s] += n
+        assert max(per_shard) > 1.5 * min(per_shard)  # the Fig 24b steps
+        assert svc.system.failures == []
+
+    def test_checkpointing_reused_for_suricata(self):
+        from repro.suricatalite import Pipeline
+
+        sim = Simulator()
+        pipeline = Pipeline()
+        stalls = []
+        svc = CheckpointedService(pipeline, stall=stalls.append, sim=sim)
+        for pkt in TraceGenerator(seed=24).packets(500):
+            pipeline.process(pkt)
+        svc.checkpoint_now()
+        svc.system.run_until(svc.system.now + 2.0)
+        assert svc.aud.snapshots_stored == 1
+        assert stalls[0] > 0
+
+
+class TestFig25CurlOverhead:
+    def test_placement_and_size_shape(self):
+        sim = Simulator()
+        server = FileServer()
+        server.put_standard_corpus()
+        same = RemoteAuditor(placement="same-vm", sim=sim)
+        cross = RemoteAuditor(placement="cross-vm", sim=sim)
+        res = run_sweep(
+            sim, server, [10_000, 100_000_000],
+            {
+                "original": ("none", None),
+                "same-vm": ("continuous", same.audit_hook()),
+                "cross-vm": ("continuous", cross.audit_hook()),
+            },
+            repetitions=3,
+        )
+        small, large = 10_000, 100_000_000
+        # cross-VM costs more than same-VM
+        assert res.mean(small, "cross-vm") > res.mean(small, "same-vm")
+        # relative overhead shrinks for large files
+        assert res.overhead_percent(large, "cross-vm") < res.overhead_percent(
+            small, "cross-vm"
+        )
+        # every audited run is slower than the original
+        for cfg in ("same-vm", "cross-vm"):
+            assert res.mean(small, cfg) >= res.mean(small, "original")
+
+
+class TestFig25cLatencyRanking:
+    def test_sharded_latency_above_baseline(self):
+        # baseline
+        sim = Simulator()
+        server = RedisServer()
+        port = DirectPort(sim, server)
+        wl = WorkloadGenerator(n_keys=300, get_ratio=1.0, seed=25)
+        for cmd in wl.preload_commands():
+            server.execute(cmd)
+        base = BenchDriver(sim, port, wl, clients=1).run(1.0)
+
+        svc = ShardedRedis(n_shards=4)
+        wl2 = WorkloadGenerator(n_keys=300, get_ratio=1.0, seed=25)
+        svc.preload(wl2.preload_commands())
+        shard = BenchDriver(svc.sim, svc, wl2, clients=1).run(1.0)
+
+        # the DSL layer adds visible but bounded latency (Fig 25c:
+        # "noticeable but low")
+        assert shard.mean_latency("GET") > base.mean_latency("GET")
+        assert shard.percentile(0.5, "GET") < 50 * base.percentile(0.5, "GET")

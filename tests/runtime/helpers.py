@@ -1,0 +1,50 @@
+"""Shared helpers for runtime tests: build small systems quickly."""
+
+from repro.core.compiler import compile_program
+from repro.runtime.system import System
+
+
+def make_system(src: str, *, latency: float = 0.01, config=None, **sys_kw) -> System:
+    return System(compile_program(src, config=config), latency=latency, **sys_kw)
+
+
+def single_junction(body: str, decls: str = "", guard: str | None = None,
+                    params: str = "", **sys_kw) -> System:
+    """A system with one instance ``x`` of type ``T`` with one junction
+    ``j`` whose body is ``body``.  Not auto-started."""
+    guard_line = f"| guard {guard}" if guard else ""
+    src = f"""
+        instance_types {{ T }}
+        instances {{ x: T }}
+        def main({params}) = start x({params})
+        def T::j({params}) =
+          {decls}
+          {guard_line}
+          {body}
+    """
+    return make_system(src, **sys_kw)
+
+
+def pair(f_body: str, g_body: str, f_decls: str = "", g_decls: str = "",
+         g_guard: str | None = None, f_guard: str | None = None, **sys_kw) -> System:
+    g_guard_line = f"| guard {g_guard}" if g_guard else ""
+    f_guard_line = f"| guard {f_guard}" if f_guard else ""
+    src = f"""
+        instance_types {{ F, G }}
+        instances {{ f: F, g: G }}
+        def main(t) = start f(t) + start g(t)
+        def complain() = host Complain; return
+        def F::j(t) =
+          {f_decls}
+          {f_guard_line}
+          {f_body}
+        def G::j(t) =
+          {g_decls}
+          {g_guard_line}
+          {g_body}
+    """
+    return make_system(src, **sys_kw)
+
+
+def failures_of(system: System) -> list[str]:
+    return [type(e).__name__ for (_t, _n, e) in system.failures]

@@ -1,0 +1,132 @@
+"""Network channel tests: latency, partitions, crashes, link config."""
+
+import random
+
+from repro.runtime.channels import LinkConfig, Message, Network
+from repro.runtime.sim import Simulator
+
+
+def setup():
+    sim = Simulator()
+    net = Network(sim, default_latency=0.1, intra_latency=0.001)
+    inbox = []
+    net.register("a::j", inbox.append)
+    net.register("b::j", inbox.append)
+    return sim, net, inbox
+
+
+def msg(src="a::j", dst="b::j", kind="update", payload="x"):
+    return Message(src=src, dst=dst, kind=kind, payload=payload, msg_id=1)
+
+
+class TestDelivery:
+    def test_latency_applied(self):
+        sim, net, inbox = setup()
+        net.send(msg())
+        sim.run_until(0.05)
+        assert inbox == []
+        sim.run_until(0.11)
+        assert len(inbox) == 1
+
+    def test_intra_instance_latency(self):
+        sim = Simulator()
+        net = Network(sim, default_latency=0.1, intra_latency=0.001)
+        inbox = []
+        net.register("a::x", inbox.append)
+        net.register("a::y", inbox.append)
+        net.send(msg(src="a::x", dst="a::y"))
+        sim.run_until(0.002)
+        assert len(inbox) == 1
+
+    def test_unregistered_destination_dropped(self):
+        sim, net, inbox = setup()
+        net.send(msg(dst="zzz::j"))
+        sim.run()
+        assert net.stats["dropped"] == 1
+
+    def test_stats(self):
+        sim, net, inbox = setup()
+        net.send(msg())
+        sim.run()
+        assert net.stats == {"sent": 1, "delivered": 1, "dropped": 0}
+
+    def test_per_link_latency_override(self):
+        sim, net, inbox = setup()
+        net.configure_link("a", "b", LinkConfig(latency=0.5))
+        net.send(msg())
+        sim.run_until(0.2)
+        assert inbox == []
+        sim.run_until(0.6)
+        assert len(inbox) == 1
+
+
+class TestFaults:
+    def test_down_instance_drops_at_send(self):
+        sim, net, inbox = setup()
+        net.set_down("b")
+        net.send(msg())
+        sim.run()
+        assert inbox == []
+
+    def test_down_source_drops(self):
+        sim, net, inbox = setup()
+        net.set_down("a")
+        net.send(msg())
+        sim.run()
+        assert inbox == []
+
+    def test_crash_during_flight_loses_message(self):
+        sim, net, inbox = setup()
+        net.send(msg())
+        sim.call_at(0.05, lambda: net.set_down("b"))
+        sim.run()
+        assert inbox == []
+        assert net.stats["dropped"] == 1
+
+    def test_recovery(self):
+        sim, net, inbox = setup()
+        net.set_down("b")
+        net.set_down("b", False)
+        net.send(msg())
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_partition_blocks_both_directions(self):
+        sim, net, inbox = setup()
+        net.partition({"a"}, {"b"})
+        net.send(msg())
+        net.send(msg(src="b::j", dst="a::j"))
+        sim.run()
+        assert inbox == []
+
+    def test_heal_partition(self):
+        sim, net, inbox = setup()
+        net.partition({"a"}, {"b"})
+        net.heal_partition()
+        net.send(msg())
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_partition_during_flight(self):
+        sim, net, inbox = setup()
+        net.send(msg())
+        sim.call_at(0.05, lambda: net.partition({"a"}, {"b"}))
+        sim.run()
+        assert inbox == []
+
+    def test_probabilistic_drop(self):
+        sim = Simulator()
+        net = Network(sim, default_latency=0.01, drop_probability=1.0, rng=random.Random(0))
+        got = []
+        net.register("b::j", got.append)
+        net.send(msg())
+        sim.run()
+        assert got == []
+        assert net.stats["dropped"] == 1
+
+    def test_unregister(self):
+        sim, net, inbox = setup()
+        net.unregister("b::j")
+        net.send(msg())
+        sim.run()
+        assert inbox == []

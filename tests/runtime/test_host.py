@@ -1,0 +1,134 @@
+"""HostContext behaviour tests."""
+
+import pytest
+
+from repro.core.errors import HostError
+
+from .helpers import failures_of, single_junction
+
+
+def build(body, decls, host_fns):
+    sys_ = single_junction(body, decls=decls)
+    for name, fn in host_fns.items():
+        sys_.bind_host("T", name, fn)
+    return sys_
+
+
+class TestReads:
+    def test_getitem_missing_raises(self):
+        errors = []
+
+        def h(ctx):
+            try:
+                ctx["nope"]
+            except KeyError as e:
+                errors.append(str(e))
+
+        sys_ = build("host H", "", {"H": h})
+        sys_.start()
+        sys_.run_until(1.0)
+        assert errors
+
+    def test_get_default(self):
+        seen = []
+        sys_ = build("host H", "", {"H": lambda ctx: seen.append(ctx.get("nope", 42))})
+        sys_.start()
+        sys_.run_until(1.0)
+        assert seen == [42]
+
+    def test_undef_reads_as_default(self):
+        seen = []
+        sys_ = build(
+            "host H", "| init data n",
+            {"H": lambda ctx: seen.append(ctx.get("n", "unset"))},
+        )
+        sys_.start()
+        sys_.run_until(1.0)
+        assert seen == ["unset"]
+
+    def test_identity_properties(self):
+        seen = []
+
+        def h(ctx):
+            seen.append((ctx.instance, ctx.junction, ctx.now))
+
+        sys_ = build("host H", "", {"H": h})
+        sys_.start()
+        sys_.run_until(1.0)
+        assert seen == [("x", "j", 0.0)]
+
+
+class TestWrites:
+    def test_prop_requires_bool(self):
+        sys_ = build("host H {P}", "| init prop !P", {"H": lambda ctx: ctx.set("P", 1)})
+        sys_.start()
+        sys_.run_until(1.0)
+        assert "HostError" in failures_of(sys_)
+
+    def test_idx_by_position(self):
+        sys_ = build(
+            "host H {tgt}", "| idx tgt of {a, b, c}",
+            {"H": lambda ctx: ctx.set("tgt", 1)},
+        )
+        sys_.start()
+        sys_.run_until(1.0)
+        assert sys_.read_state("x::j", "tgt") == "b"
+
+    def test_idx_by_value(self):
+        sys_ = build(
+            "host H {tgt}", "| idx tgt of {a, b}",
+            {"H": lambda ctx: ctx.set("tgt", "a")},
+        )
+        sys_.start()
+        sys_.run_until(1.0)
+        assert sys_.read_state("x::j", "tgt") == "a"
+
+    def test_idx_invalid_choice(self):
+        sys_ = build(
+            "host H {tgt}", "| idx tgt of {a, b}",
+            {"H": lambda ctx: ctx.set("tgt", "zzz")},
+        )
+        sys_.start()
+        sys_.run_until(1.0)
+        assert "HostError" in failures_of(sys_)
+
+    def test_data_write(self):
+        sys_ = build(
+            "host H {n}", "| init data n",
+            {"H": lambda ctx: ctx.set("n", {"payload": 1})},
+        )
+        sys_.start()
+        sys_.run_until(1.0)
+        assert sys_.read_state("x::j", "n") == {"payload": 1}
+
+
+class TestCost:
+    def test_negative_take_rejected(self):
+        sys_ = build("host H", "", {"H": lambda ctx: ctx.take(-1)})
+        sys_.start()
+        sys_.run_until(1.0)
+        assert "HostError" in failures_of(sys_)
+
+    def test_takes_accumulate(self):
+        times = []
+
+        def h(ctx):
+            ctx.take(0.2)
+            ctx.take(0.3)
+
+        sys_ = build("host H; host After", "", {"H": h, "After": lambda ctx: times.append(ctx.now)})
+        sys_.start()
+        sys_.run_until(1.0)
+        assert times == [0.5]
+
+    def test_params_copy_isolated(self):
+        sys_ = single_junction("host H", params="t")
+
+        def h(ctx):
+            p = ctx.params
+            p["t"] = 999  # must not leak into the junction
+
+        sys_.bind_host("T", "H", h)
+        sys_.start(t=5)
+        sys_.run_until(1.0)
+        assert sys_.junction("x::j").params["t"] == 5.0

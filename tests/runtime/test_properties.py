@@ -1,0 +1,154 @@
+"""Property-based runtime tests (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.kvtable import KVTable, UNDEF, Update
+from repro.runtime.sim import Simulator
+
+KEYS = ["A", "B", "C"]
+
+
+# ---------------------------------------------------------------------------
+# Simulator ordering
+# ---------------------------------------------------------------------------
+
+class TestSimulatorProperties:
+    @given(st.lists(st.tuples(st.floats(0, 100), st.integers(-2, 2)), max_size=30))
+    @settings(max_examples=100)
+    def test_events_fire_in_time_priority_order(self, specs):
+        sim = Simulator()
+        fired = []
+        for i, (t, prio) in enumerate(specs):
+            sim.call_at(t, lambda t=t, p=prio, i=i: fired.append((t, p, i)), priority=prio)
+        sim.run()
+        assert fired == sorted(fired)
+
+    @given(st.lists(st.floats(0, 50), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_clock_monotone(self, times):
+        sim = Simulator()
+        seen = []
+        for t in times:
+            sim.call_at(t, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == max(times)
+
+
+# ---------------------------------------------------------------------------
+# KV-table local priority
+# ---------------------------------------------------------------------------
+
+#: an op is ('remote', key, value) | ('local', key, value) |
+#: ('apply',) | ('keep', key)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("remote"), st.sampled_from(KEYS), st.booleans()),
+        st.tuples(st.just("local"), st.sampled_from(KEYS), st.booleans()),
+        st.tuples(st.just("apply")),
+        st.tuples(st.just("keep"), st.sampled_from(KEYS)),
+    ),
+    max_size=25,
+)
+
+
+def run_ops(sequence, executing=True):
+    t = KVTable("p::j")
+    for k in KEYS:
+        t.declare(k, False)
+    t.executing = executing
+    model = {k: False for k in KEYS}          # what values should be
+    pending_model: list[tuple[str, bool]] = []  # queued remote updates
+    for op in sequence:
+        if op[0] == "remote":
+            _, k, v = op
+            t.receive(Update(key=k, value=v, src="q::j"))
+            pending_model.append((k, v))
+        elif op[0] == "local":
+            _, k, v = op
+            t.set_local(k, v)
+            model[k] = v
+            if executing:
+                pending_model = [(pk, pv) for pk, pv in pending_model if pk != k]
+        elif op[0] == "apply":
+            n = t.apply_pending()
+            assert n == len(pending_model)
+            for k, v in pending_model:
+                model[k] = v
+            pending_model = []
+        else:  # keep
+            _, k = op
+            t.keep([k])
+            pending_model = [(pk, pv) for pk, pv in pending_model if pk != k]
+    return t, model, pending_model
+
+
+class TestKVTableProperties:
+    @given(ops)
+    @settings(max_examples=200)
+    def test_local_priority_model(self, sequence):
+        """The table always agrees with a simple reference model of the
+        paper's local-priority rule."""
+        t, model, pending_model = run_ops(sequence)
+        for k in KEYS:
+            assert t.values[k] == model[k]
+        assert [(u.key, u.value) for u in t.pending] == pending_model
+
+    @given(ops)
+    @settings(max_examples=100)
+    def test_effective_equals_apply(self, sequence):
+        """``effective`` previews exactly what ``apply_pending`` yields."""
+        t, _model, _pending = run_ops(sequence)
+        preview = {k: t.effective(k) for k in KEYS}
+        t.apply_pending()
+        for k in KEYS:
+            assert t.values[k] == preview[k]
+
+    @given(ops)
+    @settings(max_examples=100)
+    def test_apply_idempotent_when_drained(self, sequence):
+        t, _m, _p = run_ops(sequence)
+        t.apply_pending()
+        snapshot = dict(t.values)
+        assert t.apply_pending() == 0
+        assert t.values == snapshot
+
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_fig3_trace_is_seed_independent_and_stable(self, seed):
+        """The Fig. 3 handshake produces the identical trace regardless
+        of RNG seed (no randomness on this path) — full determinism."""
+        from repro.core.compiler import compile_program
+        from repro.runtime.system import System
+
+        src = """
+        instance_types { F, G }
+        instances { f: F, g: G }
+        def main(t) = start f(t) + start g(t)
+        def F::j(t) =
+          | init prop !Work
+          | init data n
+          save(n); write(n, g); assert[g] Work; wait[] !Work
+        def G::j(t) =
+          | init prop !Work
+          | init data n
+          | guard Work
+          restore(n); retract[f] Work
+        """
+
+        def run(s):
+            sys_ = System(compile_program(src), seed=s)
+            sys_.bind_state("F", save=lambda a, i: 1, restore=lambda a, i, o: None)
+            sys_.bind_state("G", save=lambda a, i: None, restore=lambda a, i, o: None)
+            sys_.start(t=5)
+            sys_.run_until(5.0)
+            return [(r["time"], r["kind"], r["node"]) for r in sys_.trace_log]
+
+        assert run(seed) == run(0)

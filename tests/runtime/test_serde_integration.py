@@ -1,0 +1,90 @@
+"""Typed serialization through the runtime's save/write/restore path.
+
+The paper's serializer exists to move C data between instances; here a
+registered C-type schema carries a struct through ``save`` → ``write``
+→ ``restore`` across the simulated network.
+"""
+
+from repro.core.compiler import compile_program
+from repro.runtime.system import System
+from repro.serde import Primitive, CString, Serializer, TypeRegistry
+
+SRC = """
+instance_types { F, G }
+instances { f: F, g: G }
+def main(t) = start f(t) + start g(t)
+def F::j(t) =
+  | init prop !Work
+  | init data n
+  save(n); write(n, g); assert[g] Work
+def G::j(t) =
+  | init prop !Work
+  | init data n
+  | guard Work
+  restore(n)
+"""
+
+
+def build():
+    reg = TypeRegistry()
+    reg.struct("record", seq=Primitive("uint32"), tag=CString(32))
+    sys_ = System(compile_program(SRC), serializer=Serializer(reg))
+    return sys_
+
+
+class TestTypedPath:
+    def test_schema_roundtrip_across_network(self):
+        sys_ = build()
+        received = []
+        sys_.bind_state(
+            "F", schema="record",
+            save=lambda a, i: {"seq": 7, "tag": "hello"},
+            restore=lambda a, i, o: None,
+        )
+        sys_.bind_state(
+            "G", schema="record",
+            save=lambda a, i: None,
+            restore=lambda a, i, o: received.append(o),
+        )
+        sys_.start(t=1)
+        sys_.run_until(1.0)
+        assert received == [{"seq": 7, "tag": "hello"}]
+        # the wire payload is tagged with the schema
+        from repro.serde import SavedData
+
+        v = sys_.read_state("g::j", "n")
+        assert isinstance(v, SavedData)
+        assert v.schema == "record"
+
+    def test_schema_violation_fails_junction(self):
+        sys_ = build()
+        sys_.bind_state(
+            "F", schema="record",
+            save=lambda a, i: {"seq": "not-an-int", "tag": "x"},
+            restore=lambda a, i, o: None,
+        )
+        sys_.bind_state("G", save=lambda a, i: None, restore=lambda a, i, o: None)
+        sys_.start(t=1)
+        sys_.run_until(1.0)
+        assert sys_.failures, "encoding a type-violating value must fail"
+
+    def test_mixed_schemas_per_data_name(self):
+        reg = TypeRegistry()
+        reg.struct("record", seq=Primitive("uint32"), tag=CString(32))
+        src = SRC.replace("save(n); write(n, g); assert[g] Work",
+                          "save(n); save(m); write(n, g); assert[g] Work")
+        src = src.replace("def F::j(t) =\n  | init prop !Work\n  | init data n",
+                          "def F::j(t) =\n  | init prop !Work\n  | init data n\n  | init data m")
+        sys_ = System(compile_program(src), serializer=Serializer(reg))
+        sys_.bind_state("F", data_name="n", schema="record",
+                        save=lambda a, i: {"seq": 1, "tag": "t"})
+        sys_.bind_state("F", data_name="m", save=lambda a, i: {"free": ["form"]})
+        sys_.bind_state("G", save=lambda a, i: None, restore=lambda a, i, o: None)
+        sys_.start(t=1)
+        sys_.run_until(1.0)
+        from repro.serde import SavedData
+
+        n = sys_.read_state("f::j", "n")
+        m = sys_.read_state("f::j", "m")
+        assert isinstance(n, SavedData) and n.schema == "record"
+        assert isinstance(m, SavedData) and m.schema is None

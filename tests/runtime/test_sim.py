@@ -1,0 +1,127 @@
+"""Discrete-event simulator core tests."""
+
+import pytest
+
+from repro.runtime.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.call_at(2.0, lambda: log.append("b"))
+        sim.call_at(1.0, lambda: log.append("a"))
+        sim.call_at(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.call_at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_priority_beats_insertion(self):
+        sim = Simulator()
+        log = []
+        sim.call_at(1.0, lambda: log.append("normal"))
+        sim.call_at(1.0, lambda: log.append("early"), priority=-1)
+        sim.run()
+        assert log == ["early", "normal"]
+
+    def test_call_after(self):
+        sim = Simulator()
+        times = []
+        sim.call_at(5.0, lambda: sim.call_after(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.0]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        sim.call_at(4.5, lambda: None)
+        sim.run()
+        assert sim.now == 4.5
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().call_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        h = sim.call_at(1.0, lambda: log.append("x"))
+        h.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancelled_flag(self):
+        sim = Simulator()
+        h = sim.call_at(1.0, lambda: None)
+        assert not h.cancelled
+        h.cancel()
+        assert h.cancelled
+
+    def test_pending_events_count(self):
+        sim = Simulator()
+        h1 = sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_run_until_inclusive(self):
+        sim = Simulator()
+        log = []
+        sim.call_at(1.0, lambda: log.append(1))
+        sim.call_at(2.0, lambda: log.append(2))
+        sim.call_at(3.0, lambda: log.append(3))
+        sim.run_until(2.0)
+        assert log == [1, 2]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.call_at(3.0, lambda: None)
+        assert sim.peek_time() == 3.0
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_after(0.0, rearm)
+
+        rearm()
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1000)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def cascade(n):
+            log.append(n)
+            if n < 3:
+                sim.call_after(1.0, lambda: cascade(n + 1))
+
+        sim.call_at(0.0, lambda: cascade(0))
+        sim.run()
+        assert log == [0, 1, 2, 3]
+        assert sim.now == 3.0

@@ -1,0 +1,229 @@
+"""Denotational semantics tests against the paper's figures."""
+
+import pytest
+
+from repro.core.parser import parse_expression, parse_formula
+from repro.semantics.denote import Denoter
+from repro.semantics.events import AdHoc, Rd, Sched, Synch, Unsched, WaitL, Wr
+from repro.semantics.render import immediate_causality, minimal_conflicts
+
+
+def denote(text, junction="J", guard=None, max_unfold=1):
+    d = Denoter(junction, max_unfold=max_unfold)
+    body = parse_expression(text)
+    if guard is not None:
+        return d.denote_junction(body, parse_formula(guard))
+    return d.denote(body)
+
+
+def labels(es):
+    return sorted(str(e.label) for e in es.events)
+
+
+class TestPrimitives:
+    def test_skip_empty(self):
+        assert denote("skip").size() == 0
+
+    def test_restore_empty(self):
+        assert denote("restore(n)").size() == 0
+
+    def test_save_is_write_star(self):
+        assert labels(denote("save(n)")) == ["Wr_J(n,*)"]
+
+    def test_write_targets_remote(self):
+        assert labels(denote("write(n, g)")) == ["Wr_g(n,*)"]
+
+    def test_host_block_write_events(self):
+        assert labels(denote("host H {a, b}")) == ["Wr_J(a,*)", "Wr_J(b,*)"]
+
+    def test_host_block_no_writes_is_adhoc(self):
+        # the formal rule yields the empty structure, but the figures
+        # render abstracted host behaviour as ad hoc labels (sec. 8.2)
+        assert labels(denote("host H")) == ["H@J"]
+
+    def test_assert_two_events(self):
+        # the formal rule: Wr_J(P,tt) and Wr_γ(P,tt)
+        assert labels(denote("assert[g] Work")) == [
+            "Wr_J(Work,tt)",
+            "Wr_g(Work,tt)",
+        ]
+
+    def test_local_assert_one_event(self):
+        assert labels(denote("assert[] Work")) == ["Wr_J(Work,tt)"]
+
+    def test_retract_ff(self):
+        assert labels(denote("retract[g] Work")) == [
+            "Wr_J(Work,ff)",
+            "Wr_g(Work,ff)",
+        ]
+
+    def test_start_stop(self):
+        assert labels(denote("start x")) == ["Start_J(x)"]
+        assert labels(denote("stop x")) == ["Stop_J(x)"]
+
+    def test_wait_placeholder(self):
+        es = denote("wait[n] !Work")
+        (e,) = es.events
+        assert isinstance(e.label, WaitL)
+        assert e.label.keys == ("n",)
+
+
+class TestComposition:
+    def test_seq_orders(self):
+        es = denote("save(n); write(n, g)")
+        imm = immediate_causality(es)
+        save = es.find_label("Wr_J(n,*)")[0]
+        write = es.find_label("Wr_g(n,*)")[0]
+        assert (save.id, write.id) in imm
+
+    def test_par_unordered(self):
+        es = denote("save(n) + save(m)")
+        assert not es.le
+
+    def test_reppar_has_copies(self):
+        es = denote("save(n) || save(m)")
+        # originals + one copy each (Fig. 20's ♮)
+        assert es.size() == 4
+
+    def test_fig3_structure(self):
+        """Fig. 18's f-side skeleton."""
+        es = denote(
+            "host H1; save(n); write(n, g); assert[g] Work; wait[] !Work",
+            junction="f",
+        )
+        es = Denoter("f").denote_junction(
+            parse_expression("host H1; save(n); write(n, g); assert[g] Work; wait[] !Work")
+        )
+        names = labels(es)
+        for expected in [
+            "Sched_f",
+            "Wr_f(n,*)",
+            "Wr_g(n,*)",
+            "Wr_f(Work,tt)",
+            "Wr_g(Work,tt)",
+            "Rd_f(Work,ff)",
+            "Unsched_f",
+        ]:
+            assert expected in names
+        es.validate()
+
+    def test_junction_guard_reads_before_sched(self):
+        es = denote("skip", junction="g", guard="Work")
+        imm = immediate_causality(es)
+        rd = es.find_label("Rd_g(Work,tt)")[0]
+        sched = es.find_label("Sched_g")[0]
+        assert (rd.id, sched.id) in imm
+
+
+class TestFormulaDenotation:
+    def test_single_clause(self):
+        d = Denoter("J")
+        es = d.denote_formula(parse_formula("A && !B"))
+        synchs = [e for e in es.events if isinstance(e.label, Synch)]
+        rds = [e for e in es.events if isinstance(e.label, Rd)]
+        assert len(synchs) == 1
+        assert {str(r.label) for r in rds} == {"Rd_J(A,tt)", "Rd_J(B,ff)"}
+
+    def test_disjunction_clauses_conflict(self):
+        d = Denoter("J")
+        es = d.denote_formula(parse_formula("A || B"))
+        synchs = [e for e in es.events if isinstance(e.label, Synch)]
+        assert len(synchs) == 2
+        assert frozenset((synchs[0].id, synchs[1].id)) in es.conflict
+
+    def test_false_formula(self):
+        d = Denoter("J")
+        es = d.denote_formula(parse_formula("false"))
+        assert any(isinstance(e.label, AdHoc) for e in es.events)
+
+
+class TestOtherwise:
+    def test_handler_copied_per_event(self):
+        es = denote("(save(n); write(n, g)) otherwise[1] host C {x}")
+        # body: 2 events (isolated) + 2 handler copies of 1 event
+        handler_events = es.find_label("Wr_J(x,*)")
+        assert len(handler_events) == 2
+        body = es.find_label("Wr_J(n,*)") + es.find_label("Wr_g(n,*)")
+        assert all(not e.outward for e in body)
+
+    def test_handler_conflicts_with_replaced_event(self):
+        es = denote("save(n) otherwise[1] host C {x}")
+        save = es.find_label("Wr_J(n,*)")[0]
+        handler = es.find_label("Wr_J(x,*)")[0]
+        assert frozenset((save.id, handler.id)) in es.conflict
+
+    def test_fig4_complain_appears(self):
+        es = Denoter("Act").denote_junction(
+            parse_expression(
+                "host H1; save(n); "
+                "{ write(n, Aud); assert[Aud] Work; wait[] !Work } "
+                "otherwise[5] complain()"
+            )
+        )
+        assert es.find_label("complain@Act")
+        es.validate()
+
+
+class TestCase:
+    def test_case_guard_conflict(self):
+        es = denote(
+            "case { Work => save(n); break otherwise => skip }"
+        )
+        # the Work=true and Work=false guard groups conflict
+        t = es.find_label("Rd_J(Work,tt)")
+        f = es.find_label("Rd_J(Work,ff)")
+        assert t and f
+        assert minimal_conflicts(es)
+
+    def test_reconsider_unfolds_boundedly(self):
+        es = denote(
+            "case { Work => retract[g] Work; reconsider otherwise => skip }",
+            max_unfold=1,
+        )
+        bounds = [e for e in es.events if "-bound" in str(e.label)]
+        assert bounds  # the unfolding was cut off, marked explicitly
+        es.validate()
+
+    def test_retry_unfolds_junction(self):
+        d = Denoter("J", max_unfold=1)
+        es = d.denote_junction(parse_expression("save(n); retry"))
+        # body denoted at least twice (original + one unfold)
+        assert len(es.find_label("Wr_J(n,*)")) >= 2
+
+
+class TestTransaction:
+    def test_synch_prefix_and_isolation(self):
+        es = denote("<| save(n) |>")
+        synchs = [e for e in es.events if isinstance(e.label, Synch)]
+        assert len(synchs) == 1
+        save = es.find_label("Wr_J(n,*)")[0]
+        assert not save.outward
+        imm = immediate_causality(es)
+        assert (synchs[0].id, save.id) in imm
+
+
+class TestWaitExpansion:
+    def test_wait_expanded_in_junction(self):
+        es = Denoter("f").denote_junction(
+            parse_expression("wait[m] !Work; save(s)")
+        )
+        assert not [e for e in es.events if isinstance(e.label, WaitL)]
+        assert es.find_label("Rd_f(Work,ff)")
+        assert es.find_label("Rd_f(m,*)")
+        es.validate()
+
+    def test_wait_disjunction_duplicates_downstream(self):
+        es = Denoter("f").denote_junction(
+            parse_expression("wait[] A || B; save(s)")
+        )
+        # downstream save is duplicated per DNF alternative
+        saves = es.find_label("Wr_f(s,*)")
+        assert len(saves) == 2
+        es.validate()
+
+    def test_wait_data_reads_staged_after_formula(self):
+        es = Denoter("f").denote_junction(parse_expression("wait[m] Go"))
+        imm = immediate_causality(es)
+        rd_go = es.find_label("Rd_f(Go,tt)")[0]
+        rd_m = es.find_label("Rd_f(m,*)")[0]
+        assert (rd_go.id, rd_m.id) in imm

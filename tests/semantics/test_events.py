@@ -1,0 +1,70 @@
+"""Event and label tests (sec. 8.2)."""
+
+from repro.semantics.events import (
+    AdHoc,
+    FF,
+    Rd,
+    STAR,
+    Sched,
+    StartL,
+    StopL,
+    Synch,
+    TT,
+    Unsched,
+    WaitL,
+    Wr,
+    fresh_event,
+    isolate_event,
+)
+
+
+class TestLabels:
+    def test_rd_rendering(self):
+        assert str(Rd("f", "Work", TT)) == "Rd_f(Work,tt)"
+        assert str(Rd("f", "Work", FF)) == "Rd_f(Work,ff)"
+        assert str(Rd("f", "n", STAR)) == "Rd_f(n,*)"
+
+    def test_wr_single_junction(self):
+        assert str(Wr(frozenset(["g"]), "n", STAR)) == "Wr_g(n,*)"
+
+    def test_wr_multi_junction_sorted(self):
+        label = Wr(frozenset(["Aud", "Act"]), "Work", TT)
+        assert str(label) == "Wr_{Act,Aud}(Work,tt)"
+
+    def test_start_stop(self):
+        assert str(StartL("init", "f")) == "Start_init(f)"
+        assert str(StopL("j", "f")) == "Stop_j(f)"
+
+    def test_sched_unsched(self):
+        assert str(Sched("f")) == "Sched_f"
+        assert str(Unsched("f")) == "Unsched_f"
+
+    def test_synch(self):
+        assert str(Synch("J", ("A", "B"))) == "Synch_J(A,B)"
+        assert str(Synch("J")) == "Synch_J()"
+
+    def test_wait_placeholder(self):
+        assert str(WaitL("J", ("m",), "!Work")) == "Wait_J([m],!Work)"
+
+    def test_adhoc(self):
+        assert str(AdHoc("complain")) == "complain"
+        assert str(AdHoc("complain", "Act")) == "complain@Act"
+
+    def test_labels_are_value_objects(self):
+        assert Rd("f", "W", TT) == Rd("f", "W", TT)
+        assert Rd("f", "W", TT) != Rd("f", "W", FF)
+
+
+class TestEvents:
+    def test_fresh_ids_unique(self):
+        a = fresh_event(AdHoc("x"))
+        b = fresh_event(AdHoc("x"))
+        assert a.id != b.id
+        assert a != b
+
+    def test_outward_default_true(self):
+        assert fresh_event(AdHoc("x")).outward is True
+
+    def test_isolate_marker_in_str(self):
+        e = isolate_event(fresh_event(AdHoc("x")))
+        assert str(e).endswith("°")

@@ -1,0 +1,109 @@
+"""Program-level semantics (start-up portion) and rendering tests."""
+
+from repro.core.compiler import compile_program
+from repro.semantics.program_sem import denote_program, denote_startup
+from repro.semantics.render import immediate_causality, to_dot, to_text
+
+FIG3 = """
+instance_types { TF, TG }
+instances { f: TF, g: TG }
+def main(t) = start f(t) + start g(t)
+def TF::junction(t) =
+  | init prop !Work
+  | init data n
+  host H1; save(n); write(n, g); assert[g] Work; wait[] !Work
+def TG::junction(t) =
+  | init prop !Work
+  | init data n
+  | guard Work
+  restore(n); host H2; retract[f] Work
+"""
+
+
+class TestStartup:
+    def test_main_enables_starts(self):
+        prog = compile_program(FIG3)
+        es = denote_startup(prog, {"t": 5})
+        main_ev = es.find_label("main")[0]
+        starts = [e for e in es.events if str(e.label).startswith("Start_init")]
+        assert len(starts) == 2
+        imm = immediate_causality(es)
+        for s in starts:
+            assert (main_ev.id, s.id) in imm
+
+    def test_init_writes_follow_starts(self):
+        prog = compile_program(FIG3)
+        es = denote_startup(prog, {"t": 5})
+        wrs = es.find_label("Wr_f::junction(Work,ff)")
+        assert len(wrs) == 1
+        es.validate()
+
+    def test_program_without_main(self):
+        prog = compile_program(
+            """
+            instance_types { T }
+            instances { x: T }
+            def T::j() = skip
+            """
+        )
+        es = denote_startup(prog)
+        assert es.size() == 1  # just the main event
+
+
+class TestWholeProgram:
+    def test_denote_program_components(self):
+        prog = compile_program(FIG3)
+        sem = denote_program(prog, {"t": 5})
+        assert set(sem.junctions) == {"f::junction", "g::junction"}
+        for es in sem.all_structures():
+            es.validate()
+        assert sem.total_events() > 10
+
+    def test_guard_reads_in_g(self):
+        prog = compile_program(FIG3)
+        sem = denote_program(prog, {"t": 5})
+        g = sem.junctions["g::junction"]
+        assert g.find_label("Rd_g::junction(Work,tt)")
+
+    def test_unbound_junction_stubbed(self):
+        prog = compile_program(
+            """
+            instance_types { T }
+            instances { x: T }
+            def main() = start x(noValueGiven)
+            def T::j(backends) =
+              for b in backends ; write(n, b)
+            """
+        )
+        sem = denote_program(prog)  # no value for `backends`
+        assert sem.junctions["x::j"].find(
+            lambda e: str(e.label).startswith("unbound")
+        )
+
+
+class TestRendering:
+    def test_to_text_deterministic(self):
+        prog = compile_program(FIG3)
+        sem = denote_program(prog, {"t": 5})
+        t1 = to_text(sem.junctions["f::junction"])
+        t2 = to_text(sem.junctions["f::junction"])
+        assert t1 == t2
+        assert "Sched_f::junction" in t1
+
+    def test_to_dot_wellformed(self):
+        prog = compile_program(FIG3)
+        sem = denote_program(prog, {"t": 5})
+        dot = to_dot(sem.startup, "startup")
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "main" in dot
+
+    def test_conflicts_rendered(self):
+        from repro.core.parser import parse_expression
+        from repro.semantics.denote import Denoter
+
+        es = Denoter("J").denote(
+            parse_expression("case { A => skip; break otherwise => skip }")
+        )
+        text = to_text(es)
+        assert "CONFLICT" in text

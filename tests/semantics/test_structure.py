@@ -1,0 +1,174 @@
+"""Event-structure axioms and algebra tests."""
+
+import pytest
+
+from repro.semantics.events import AdHoc, Rd, Wr, fresh_event, isolate_event, TT
+from repro.semantics.structure import EventStructure as ES
+
+
+def ev(name):
+    return fresh_event(AdHoc(name))
+
+
+def chain(*names):
+    """A linear structure a -> b -> c ..."""
+    events = [ev(n) for n in names]
+    le = frozenset((events[i].id, events[i + 1].id) for i in range(len(events) - 1))
+    return ES(frozenset(events), le, frozenset()), events
+
+
+class TestAxioms:
+    def test_valid_chain(self):
+        es, _ = chain("a", "b", "c")
+        es.validate()
+
+    def test_cycle_rejected(self):
+        a, b = ev("a"), ev("b")
+        es = ES(frozenset([a, b]), frozenset([(a.id, b.id), (b.id, a.id)]), frozenset())
+        with pytest.raises(ValueError):
+            es.validate()
+
+    def test_reflexive_strict_pair_rejected(self):
+        a = ev("a")
+        es = ES(frozenset([a]), frozenset([(a.id, a.id)]), frozenset())
+        with pytest.raises(ValueError):
+            es.validate()
+
+    def test_dangling_enablement_rejected(self):
+        a = ev("a")
+        es = ES(frozenset([a]), frozenset([(a.id, 99999)]), frozenset())
+        with pytest.raises(ValueError):
+            es.validate()
+
+    def test_conflicting_causes_rejected_by_prime_check(self):
+        a, b, c = ev("a"), ev("b"), ev("c")
+        es = ES(
+            frozenset([a, b, c]),
+            frozenset([(a.id, c.id), (b.id, c.id)]),
+            frozenset([frozenset((a.id, b.id))]),
+        )
+        es.validate()  # the general axioms allow disjunctive causes
+        with pytest.raises(ValueError):
+            es.validate_prime()
+
+    def test_conflict_inheritance(self):
+        a, b, c = ev("a"), ev("b"), ev("c")
+        es = ES(
+            frozenset([a, b, c]),
+            frozenset([(b.id, c.id)]),
+            frozenset([frozenset((a.id, b.id))]),
+        )
+        inh = es.inherited_conflicts()
+        assert frozenset((a.id, c.id)) in inh
+
+    def test_history(self):
+        es, (a, b, c) = chain("a", "b", "c")
+        assert es.history(c.id) == {a.id, b.id, c.id}
+        assert es.history(a.id) == {a.id}
+
+
+class TestConcurrency:
+    def test_parallel_events_concurrent(self):
+        a, b = ev("a"), ev("b")
+        es = ES(frozenset([a, b]), frozenset(), frozenset())
+        assert es.concurrent(a.id, b.id)
+
+    def test_ordered_not_concurrent(self):
+        es, (a, b, _) = chain("a", "b", "c")
+        assert not es.concurrent(a.id, b.id)
+
+    def test_conflicting_not_concurrent(self):
+        a, b = ev("a"), ev("b")
+        es = ES(frozenset([a, b]), frozenset(), frozenset([frozenset((a.id, b.id))]))
+        assert not es.concurrent(a.id, b.id)
+
+    def test_inherited_conflict_blocks_concurrency(self):
+        a, b, c = ev("a"), ev("b"), ev("c")
+        es = ES(
+            frozenset([a, b, c]),
+            frozenset([(b.id, c.id)]),
+            frozenset([frozenset((a.id, b.id))]),
+        )
+        assert not es.concurrent(a.id, c.id)
+
+
+class TestPeripheries:
+    def test_chain_peripheries(self):
+        es, (a, b, c) = chain("a", "b", "c")
+        assert es.leftmost() == frozenset([a])
+        assert es.rightmost() == frozenset([c])
+
+    def test_no_order_peripheries_are_everything(self):
+        a, b = ev("a"), ev("b")
+        es = ES(frozenset([a, b]), frozenset(), frozenset())
+        assert es.leftmost() == frozenset([a, b])
+        assert es.rightmost() == frozenset([a, b])
+
+    def test_isolated_events_excluded_from_outward_rightmost(self):
+        es, _ = chain("a", "b")
+        iso = es.isolate()
+        assert iso.outward_rightmost() == frozenset()
+        assert len(iso.rightmost()) == 1
+
+
+class TestTransforms:
+    def test_isolate_preserves_ids(self):
+        es, (a, b) = chain("a", "b")
+        iso = es.isolate()
+        assert iso.ids == es.ids
+        assert all(not e.outward for e in iso.events)
+
+    def test_isolate_event(self):
+        e = ev("x")
+        assert isolate_event(e).id == e.id
+        assert isolate_event(e).outward is False
+
+    def test_copy_fresh_bijection(self):
+        es, (a, b) = chain("a", "b")
+        copy, m = es.copy_fresh()
+        assert len(copy.events) == 2
+        assert set(m.keys()) == es.ids
+        assert copy.ids.isdisjoint(es.ids)
+        copy.validate()
+
+    def test_copy_fresh_preserves_relations(self):
+        a, b = ev("a"), ev("b")
+        es = ES(
+            frozenset([a, b]), frozenset([(a.id, b.id)]), frozenset()
+        )
+        copy, m = es.copy_fresh()
+        assert (m[a.id], m[b.id]) in copy.le
+
+
+class TestAlgebra:
+    def test_union_is_plain(self):
+        e1, _ = chain("a", "b")
+        e2, _ = chain("c", "d")
+        u = e1.union(e2)
+        assert u.size() == 4
+        u.validate()
+
+    def test_then_links_peripheries(self):
+        e1, (a, b) = chain("a", "b")
+        e2, (c, d) = chain("c", "d")
+        s = e1.then(e2)
+        assert (b.id, c.id) in s.le
+        assert (a.id, c.id) not in s.le
+        s.validate()
+
+    def test_then_skips_isolated_sources(self):
+        e1, (a, b) = chain("a", "b")
+        e2, (c, _) = chain("c", "d")
+        s = e1.isolate().then(e2)
+        assert (b.id, c.id) not in s.le
+
+    def test_guarded_by(self):
+        e1, (a, _) = chain("a", "b")
+        g = ev("g")
+        s = e1.guarded_by([g])
+        assert (g.id, a.id) in s.le
+
+    def test_find_label(self):
+        e = fresh_event(Wr(frozenset(["f"]), "Work", TT))
+        es = ES.of_events([e])
+        assert es.find_label("Wr_f(Work,tt)") == [e]

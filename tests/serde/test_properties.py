@@ -1,0 +1,129 @@
+"""Property-based serde tests: random schemas/values round-trip, and
+generated code always agrees with the interpreted codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serde import (
+    Array,
+    CString,
+    Pointer,
+    Primitive,
+    SizedBuffer,
+    TypeRegistry,
+    decode_generic,
+    encode_generic,
+    generate_module,
+    load_generated,
+)
+from repro.serde.traverse import Decoder, Encoder
+
+# -- generic codec -----------------------------------------------------------
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=5), inner, max_size=4),
+    ),
+    max_leaves=15,
+)
+
+
+@given(json_like)
+@settings(max_examples=200)
+def test_generic_roundtrip(value):
+    assert decode_generic(encode_generic(value)) == value
+
+
+# -- typed codec over random schemas ----------------------------------------
+
+_PRIMS = ["int8", "int16", "int32", "int64", "uint8", "uint16", "uint32",
+          "uint64", "float64", "bool"]
+
+_RANGES = {
+    "int8": (-128, 127),
+    "int16": (-(2**15), 2**15 - 1),
+    "int32": (-(2**31), 2**31 - 1),
+    "int64": (-(2**63), 2**63 - 1),
+    "uint8": (0, 255),
+    "uint16": (0, 2**16 - 1),
+    "uint32": (0, 2**32 - 1),
+    "uint64": (0, 2**64 - 1),
+}
+
+
+@st.composite
+def schema_and_value(draw, depth=2):
+    """Draw a (ctype, value) pair."""
+    choice = draw(st.integers(0, 5 if depth > 0 else 2))
+    if choice <= 1:
+        kind = draw(st.sampled_from(_PRIMS))
+        if kind == "bool":
+            return Primitive(kind), draw(st.booleans())
+        if kind == "float64":
+            return Primitive(kind), draw(
+                st.floats(allow_nan=False, allow_infinity=False)
+            )
+        lo, hi = _RANGES[kind]
+        return Primitive(kind), draw(st.integers(lo, hi))
+    if choice == 2:
+        return CString(64), draw(st.text(max_size=10))
+    if choice == 3:
+        return SizedBuffer(64), draw(st.binary(max_size=10))
+    if choice == 4:
+        elem_t, _ = draw(schema_and_value(depth=0))
+        n = draw(st.integers(0, 3))
+        values = [draw(schema_and_value(depth=0)) for _ in range(n)]
+        # regenerate values of the right element type
+        elem_values = []
+        for _ in range(n):
+            t2, v2 = draw(schema_and_value(depth=0).filter(lambda tv: type(tv[0]) is type(elem_t) and tv[0] == elem_t))
+            elem_values.append(v2)
+        return Array(elem_t, n), elem_values
+    # pointer
+    inner_t, inner_v = draw(schema_and_value(depth=depth - 1))
+    is_null = draw(st.booleans())
+    return Pointer(inner_t), (None if is_null else inner_v)
+
+
+@given(schema_and_value())
+@settings(max_examples=150)
+def test_typed_roundtrip(tv):
+    t, v = tv
+    reg = TypeRegistry()
+    enc = Encoder(reg).encode(t, v)
+    out = Decoder(reg).decode(t, enc)
+    assert out == v or (isinstance(v, list) and list(out) == list(v))
+
+
+@st.composite
+def struct_schema(draw):
+    reg = TypeRegistry()
+    n_fields = draw(st.integers(1, 4))
+    fields = {}
+    value = {}
+    for i in range(n_fields):
+        t, v = draw(schema_and_value(depth=1))
+        fields[f"f{i}"] = t
+        value[f"f{i}"] = v
+    reg.struct("rec", **fields)
+    return reg, value
+
+
+@given(struct_schema())
+@settings(max_examples=75)
+def test_generated_code_agrees_with_interpreter(rv):
+    reg, value = rv
+    ns = load_generated(generate_module(reg, "rec"))
+    interpreted = Encoder(reg).encode("rec", value)
+    generated = ns["encode_rec"](value)
+    assert generated == interpreted
+    assert ns["decode_rec"](generated) == Decoder(reg).decode("rec", interpreted)

@@ -1,0 +1,176 @@
+"""curlite tests: file server, transfer client, sweeps."""
+
+import pytest
+
+from repro.curlite import (
+    FileServer,
+    LinkModel,
+    STANDARD_SIZES,
+    SweepResult,
+    TransferClient,
+    run_sweep,
+    size_name,
+)
+from repro.runtime.sim import Simulator
+
+
+def setup(request_cost=0.001):
+    sim = Simulator()
+    server = FileServer(LinkModel(bandwidth=1_000_000, rtt=0.01), request_cost=request_cost)
+    server.put("small", 10_000)
+    server.put("big", 1_000_000)
+    client = TransferClient(sim, server, chunk_size=100_000)
+    return sim, server, client
+
+
+class TestFileServer:
+    def test_put_and_size(self):
+        server = FileServer()
+        server.put("f", 123)
+        assert server.size_of("f") == 123
+
+    def test_missing_file(self):
+        with pytest.raises(KeyError):
+            FileServer().size_of("zzz")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FileServer().put("f", -1)
+
+    def test_standard_corpus(self):
+        server = FileServer()
+        server.put_standard_corpus()
+        assert server.size_of(size_name(1_200_000_000)) == 1_200_000_000
+        assert len(server.files()) == len(STANDARD_SIZES)
+
+    def test_size_name(self):
+        assert size_name(1_000) == "file-1KB"
+        assert size_name(10_000_000) == "file-10MB"
+        assert size_name(500) == "file-500B"
+
+    def test_link_transfer_time(self):
+        link = LinkModel(bandwidth=1000)
+        assert link.transfer_time(500) == 0.5
+
+
+class TestTransferClient:
+    def test_download_completes(self):
+        sim, server, client = setup()
+        done = []
+        client.download("small", done.append)
+        sim.run()
+        (res,) = done
+        assert res.size == 10_000
+        # rtt + request cost + transfer
+        assert res.elapsed >= 0.01 + 0.001
+
+    def test_bigger_takes_longer(self):
+        sim, server, client = setup()
+        done = {}
+        client.download("small", lambda r: done.__setitem__("s", r))
+        sim.run()
+        client.download("big", lambda r: done.__setitem__("b", r))
+        sim.run()
+        assert done["b"].elapsed > done["s"].elapsed
+
+    def test_once_audit_fires_once(self):
+        sim, server, client = setup()
+        audits = []
+
+        def hook(state, cont):
+            audits.append(dict(state))
+            cont()
+
+        done = []
+        client.download("big", done.append, audit=hook, audit_mode="once")
+        sim.run()
+        assert len(audits) == 1
+        assert audits[0]["done"] == 0  # captured at invocation start
+        assert done[0].audits == 1
+
+    def test_continuous_audit_progress(self):
+        sim, server, client = setup()
+        audits = []
+
+        def hook(state, cont):
+            audits.append(state["done"])
+            cont()
+
+        done = []
+        client.download("big", done.append, audit=hook, audit_mode="continuous")
+        sim.run()
+        assert len(audits) >= 2
+        assert audits == sorted(audits)
+        assert audits[-1] == 1_000_000
+
+    def test_audit_barrier_blocks_transfer(self):
+        """The transfer must not outrun an unacknowledged audit."""
+        sim, server, client = setup()
+        held = []
+
+        def hook(state, cont):
+            held.append(cont)  # never continue
+
+        done = []
+        client.download("big", done.append, audit=hook, audit_mode="continuous")
+        sim.run()
+        assert done == []  # stuck at the first audit barrier
+        held[0]()  # release
+        sim.run()
+        assert len(held) > 1 or done  # progress resumed
+
+    def test_bad_mode_rejected(self):
+        sim, server, client = setup()
+        with pytest.raises(ValueError):
+            client.download("small", lambda r: None, audit_mode="sometimes")
+
+    def test_audit_mode_requires_hook(self):
+        sim, server, client = setup()
+        with pytest.raises(ValueError):
+            client.download("small", lambda r: None, audit_mode="once")
+
+    def test_digest_changes_with_progress(self):
+        sim, server, client = setup()
+        digests = []
+        client.download(
+            "big",
+            lambda r: None,
+            audit=lambda s, c: (digests.append(s["digest"]), c()),
+            audit_mode="continuous",
+        )
+        sim.run()
+        assert len(set(digests)) == len(digests)
+
+
+class TestSweep:
+    def test_sweep_collects_all_cells(self):
+        sim = Simulator()
+        server = FileServer(LinkModel(bandwidth=10_000_000, rtt=0.001), request_cost=0.001)
+        for s in (1_000, 100_000):
+            server.put(size_name(s), s)
+        res = run_sweep(
+            sim, server, [1_000, 100_000],
+            {"original": ("none", None)},
+            repetitions=3,
+        )
+        assert res.sizes() == [1_000, 100_000]
+        assert len(res.samples[(1_000, "original")]) == 3
+
+    def test_overhead_percent(self):
+        r = SweepResult()
+        for _ in range(3):
+            r.add(10, "original", 1.0)
+            r.add(10, "audited", 1.2)
+        assert r.overhead_percent(10, "audited") == pytest.approx(20.0)
+
+    def test_stdev(self):
+        r = SweepResult()
+        r.add(1, "c", 1.0)
+        r.add(1, "c", 3.0)
+        assert r.mean(1, "c") == 2.0
+        assert r.stdev(1, "c") == pytest.approx(2.0 ** 0.5)
+
+    def test_stdev_single_sample(self):
+        r = SweepResult()
+        r.add(1, "c", 1.0)
+        assert r.stdev(1, "c") == 0.0

@@ -1,0 +1,263 @@
+"""redislite tests: store, server, workload, bench driver."""
+
+import pytest
+
+from repro.redislite import (
+    BenchDriver,
+    Command,
+    CostModel,
+    DataStore,
+    DirectPort,
+    RedisServer,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WrongTypeError,
+    djb2,
+)
+from repro.runtime.sim import Simulator
+
+
+class TestDataStore:
+    def test_get_set(self):
+        s = DataStore()
+        s.set("k", b"v")
+        assert s.get("k") == b"v"
+
+    def test_get_missing(self):
+        assert DataStore().get("k") is None
+
+    def test_delete(self):
+        s = DataStore()
+        s.set("k", b"v")
+        assert s.delete("k") is True
+        assert s.delete("k") is False
+        assert s.get("k") is None
+
+    def test_exists(self):
+        s = DataStore()
+        s.set("k", b"v")
+        assert s.exists("k")
+        assert not s.exists("z")
+
+    def test_incr(self):
+        s = DataStore()
+        assert s.incr("c") == 1
+        assert s.incr("c") == 2
+        assert s.get("c") == b"2"
+
+    def test_incr_non_integer(self):
+        s = DataStore()
+        s.set("c", b"abc")
+        with pytest.raises(WrongTypeError):
+            s.incr("c")
+
+    def test_append(self):
+        s = DataStore()
+        assert s.append("k", b"ab") == 2
+        assert s.append("k", b"cd") == 4
+        assert s.get("k") == b"abcd"
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(WrongTypeError):
+            DataStore().set("k", "text")
+
+    def test_expiry(self):
+        s = DataStore()
+        s.set("k", b"v", now=0.0, ttl=10.0)
+        assert s.get("k", now=5.0) == b"v"
+        assert s.get("k", now=11.0) is None
+        assert s.stats["expired"] == 1
+
+    def test_expire_command(self):
+        s = DataStore()
+        s.set("k", b"v")
+        assert s.expire("k", 5.0, now=0.0)
+        assert s.get("k", now=6.0) is None
+
+    def test_memory_accounting(self):
+        s = DataStore()
+        assert s.memory_bytes == 0
+        s.set("k", b"x" * 100)
+        m1 = s.memory_bytes
+        assert m1 >= 100
+        s.set("k", b"x" * 10)  # overwrite shrinks
+        assert s.memory_bytes < m1
+        s.delete("k")
+        assert s.memory_bytes == 0
+
+    def test_object_size(self):
+        s = DataStore()
+        s.set("k", b"x" * 42)
+        assert s.object_size("k") == 42
+        assert s.object_size("z") is None
+
+    def test_keys_iteration_skips_expired(self):
+        s = DataStore()
+        s.set("a", b"1")
+        s.set("b", b"1", now=0.0, ttl=1.0)
+        assert sorted(s.keys(now=2.0)) == ["a"]
+
+    def test_snapshot_restore_roundtrip(self):
+        s = DataStore()
+        s.set("a", b"1")
+        s.set("b", b"2", now=0.0, ttl=50.0)
+        snap = s.snapshot()
+        s2 = DataStore()
+        s2.restore(snap)
+        assert s2.get("a") == b"1"
+        assert s2.get("b") == b"2"
+        assert s2.memory_bytes == s.memory_bytes
+
+    def test_hit_miss_stats(self):
+        s = DataStore()
+        s.set("k", b"v")
+        s.get("k")
+        s.get("z")
+        assert s.stats["hits"] == 1
+        assert s.stats["misses"] == 1
+
+
+class TestRedisServer:
+    def test_execute_get_set(self):
+        srv = RedisServer()
+        reply, cost = srv.execute(Command("SET", "k", b"v"))
+        assert reply.ok and cost > 0
+        reply, _ = srv.execute(Command("GET", "k"))
+        assert reply.value == b"v" and reply.hit
+
+    def test_unknown_command(self):
+        reply, _ = RedisServer().execute(Command("FLUSHALL", "x"))
+        assert not reply.ok
+
+    def test_cost_scales_with_payload(self):
+        srv = RedisServer()
+        _, c_small = srv.execute(Command("SET", "a", b"x"))
+        _, c_big = srv.execute(Command("SET", "b", b"x" * 100_000))
+        assert c_big > c_small
+
+    def test_checkpoint_restore(self):
+        srv = RedisServer()
+        for i in range(50):
+            srv.execute(Command("SET", f"k{i}", b"v"))
+        snap, cost = srv.checkpoint()
+        assert cost > srv.cost.checkpoint_base
+        srv2 = RedisServer()
+        srv2.restore(snap)
+        assert srv2.store.size() == 50
+
+    def test_checkpoint_cost_scales_with_keys(self):
+        small = RedisServer()
+        big = RedisServer()
+        for i in range(1000):
+            big.execute(Command("SET", f"k{i}", b"v"))
+        _, c_small = small.checkpoint()
+        _, c_big = big.checkpoint()
+        assert c_big > c_small
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = [c.key for c in WorkloadGenerator(seed=1).commands(50)]
+        b = [c.key for c in WorkloadGenerator(seed=1).commands(50)]
+        assert a == b
+
+    def test_get_ratio(self):
+        wl = WorkloadGenerator(get_ratio=1.0, seed=2)
+        assert all(c.op == "GET" for c in wl.commands(100))
+        wl = WorkloadGenerator(get_ratio=0.0, seed=2)
+        assert all(c.op == "SET" for c in wl.commands(100))
+
+    def test_skew_concentrates_on_hot_keys(self):
+        wl = WorkloadGenerator(n_keys=1000, skew=(0.1, 0.9), seed=3)
+        hot = {f"key:{i:08d}" for i in range(100)}
+        picks = [wl.pick_key() for _ in range(2000)]
+        hot_fraction = sum(1 for k in picks if k in hot) / len(picks)
+        assert 0.85 < hot_fraction < 0.95
+
+    def test_shard_weights_bias(self):
+        wl = WorkloadGenerator(n_keys=1000, shard_weights=(4, 2, 1, 1), seed=4)
+        counts = [0, 0, 0, 0]
+        for _ in range(4000):
+            counts[djb2(wl.pick_key()) % 4] += 1
+        assert counts[0] > counts[1] > counts[2] * 1.2
+
+    def test_size_classes(self):
+        wl = WorkloadGenerator(
+            n_keys=300, size_class_weights=(0.5, 0.3, 0.2), seed=5
+        )
+        sizes = [wl.key_size(k) for k in wl._keys]
+        assert any(s <= 4096 for s in sizes)
+        assert any(4096 < s <= 65536 for s in sizes)
+        assert any(s > 65536 for s in sizes)
+
+    def test_preload_covers_all_keys(self):
+        wl = WorkloadGenerator(n_keys=17)
+        assert len(list(wl.preload_commands())) == 17
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            WorkloadGenerator(bogus=1)
+
+    def test_djb2_reference_values(self):
+        # djb2("") == 5381; matching the classic algorithm
+        assert djb2("") == 5381
+        assert djb2("a") == (5381 * 33 + ord("a")) & 0xFFFFFFFF
+
+
+class TestBenchDriver:
+    def _setup(self, **wl_kw):
+        sim = Simulator()
+        server = RedisServer()
+        port = DirectPort(sim, server)
+        wl = WorkloadGenerator(n_keys=100, seed=6, **wl_kw)
+        for cmd in wl.preload_commands():
+            server.execute(cmd)
+        return sim, server, port, wl
+
+    def test_closed_loop_completes(self):
+        sim, server, port, wl = self._setup()
+        res = BenchDriver(sim, port, wl, clients=4).run(1.0)
+        assert res.count > 100
+        assert res.finished_at >= 1.0
+
+    def test_throughput_bounded_by_service_rate(self):
+        sim, server, port, wl = self._setup()
+        res = BenchDriver(sim, port, wl, clients=8).run(2.0)
+        rate = res.count / 2.0
+        assert rate <= 1.0 / server.cost.per_command * 1.1
+
+    def test_stall_creates_dip(self):
+        sim, server, port, wl = self._setup()
+        driver = BenchDriver(sim, port, wl, clients=4)
+        sim.call_at(1.0, lambda: port.stall(0.5))
+        res = driver.run(3.0)
+        series = dict(res.qps_series(0.5))
+        assert series[1.0] < series[0.5] * 0.5  # the stalled bucket
+
+    def test_latency_percentiles_ordered(self):
+        sim, server, port, wl = self._setup()
+        res = BenchDriver(sim, port, wl, clients=8).run(1.0)
+        assert res.percentile(0.5) <= res.percentile(0.99)
+
+    def test_cdf_monotone(self):
+        sim, server, port, wl = self._setup()
+        res = BenchDriver(sim, port, wl, clients=4).run(0.5)
+        cdf = res.cdf()
+        assert cdf[-1][1] == 1.0
+        assert all(cdf[i][0] <= cdf[i + 1][0] for i in range(len(cdf) - 1))
+
+    def test_cumulative_by_class(self):
+        sim, server, port, wl = self._setup()
+        res = BenchDriver(sim, port, wl, clients=4).run(1.0)
+        data = res.cumulative_by(lambda c: djb2(c.key) % 2, dt=0.25)
+        for series in data["series"].values():
+            assert all(series[i] <= series[i + 1] for i in range(len(series) - 1))
+        totals = [s[-1] for s in data["series"].values()]
+        assert sum(totals) == res.count
+
+    def test_think_time_slows_clients(self):
+        sim, server, port, wl = self._setup()
+        res_fast = BenchDriver(sim, port, wl, clients=2).run(1.0)
+        sim2, server2, port2, wl2 = self._setup()
+        res_slow = BenchDriver(sim2, port2, wl2, clients=2, think_time=0.01).run(1.0)
+        assert res_slow.count < res_fast.count

@@ -1,0 +1,205 @@
+"""suricatalite tests: packets, flows, rules, pipeline, traces."""
+
+import pytest
+
+from repro.suricatalite import (
+    DetectNode,
+    FiveTuple,
+    FlowTable,
+    HookNode,
+    Packet,
+    Pipeline,
+    Rule,
+    RuleSet,
+    TraceGenerator,
+)
+
+
+def ft(src_port=1234, dst_port=80, proto="tcp"):
+    return FiveTuple("10.0.0.1", "192.168.0.1", src_port, dst_port, proto)
+
+
+def pkt(ts=0.0, size=100, payload=b"", flow=None, app="http"):
+    return Packet(ts=ts, flow=flow or ft(), size=size, payload=payload, app=app)
+
+
+class TestPackets:
+    def test_five_tuple_hash_deterministic(self):
+        assert ft().hash() == ft().hash()
+
+    def test_different_tuples_usually_differ(self):
+        hashes = {ft(src_port=p).hash() for p in range(1000, 1100)}
+        assert len(hashes) > 90
+
+    def test_str_form(self):
+        assert str(ft()) == "10.0.0.1:1234->192.168.0.1:80/tcp"
+
+
+class TestFlowTable:
+    def test_update_creates_and_accumulates(self):
+        t = FlowTable()
+        t.update(pkt(ts=1.0, size=100))
+        rec = t.update(pkt(ts=2.0, size=50))
+        assert rec.packets == 2
+        assert rec.bytes == 150
+        assert rec.first_seen == 1.0
+        assert rec.last_seen == 2.0
+        assert t.size() == 1
+
+    def test_distinct_flows(self):
+        t = FlowTable()
+        t.update(pkt())
+        t.update(pkt(flow=ft(src_port=9)))
+        assert t.size() == 2
+
+    def test_idle_eviction(self):
+        t = FlowTable(idle_timeout=10.0)
+        t.update(pkt(ts=0.0))
+        t.update(pkt(ts=5.0, flow=ft(src_port=9)))
+        assert t.evict_idle(now=12.0) == 1
+        assert t.size() == 1
+
+    def test_snapshot_restore(self):
+        t = FlowTable()
+        t.update(pkt(ts=1.0))
+        t.update(pkt(ts=2.0, flow=ft(src_port=9)))
+        snap = t.snapshot()
+        t2 = FlowTable()
+        t2.restore(snap)
+        assert t2.size() == 2
+        assert t2.flows[str(ft())].packets == 1
+
+
+class TestRules:
+    def test_port_and_proto_match(self):
+        r = Rule(1, "t", proto="tcp", dst_port=80)
+        table = FlowTable()
+        flow = table.update(pkt())
+        assert r.matches(pkt(), flow)
+        assert not r.matches(pkt(flow=ft(proto="udp")), flow)
+
+    def test_content_match(self):
+        r = Rule(1, "t", content=b"evil")
+        table = FlowTable()
+        flow = table.update(pkt(payload=b"very evil payload"))
+        assert r.matches(pkt(payload=b"very evil payload"), flow)
+        assert not r.matches(pkt(payload=b"benign"), flow)
+
+    def test_threshold(self):
+        r = Rule(1, "t", min_flow_packets=3)
+        table = FlowTable()
+        flow = table.update(pkt())
+        assert not r.matches(pkt(), flow)
+        table.update(pkt())
+        table.update(pkt())
+        assert r.matches(pkt(), flow)
+
+    def test_ruleset_collects_alerts(self):
+        rs = RuleSet((Rule(7, "x", content=b"bad"),))
+        table = FlowTable()
+        flow = table.update(pkt(payload=b"bad stuff"))
+        fired = rs.inspect(pkt(ts=3.0, payload=b"bad stuff"), flow)
+        assert len(fired) == 1
+        assert fired[0].sid == 7
+        assert flow.alerts == 1
+        assert rs.alerts == fired
+
+
+class TestPipeline:
+    def test_process_counts_and_costs(self):
+        p = Pipeline()
+        cost = p.process(pkt())
+        assert cost > 0
+        assert p.packets_processed == 1
+        assert p.ctx.flow_table.size() == 1
+
+    def test_bad_packet_dropped_before_detect(self):
+        p = Pipeline()
+        p.process(pkt(size=0))
+        assert p.ctx.dropped == 1
+        assert p.ctx.flow_table.size() == 0
+
+    def test_default_ruleset_fires_on_malicious_payload(self):
+        p = Pipeline()
+        p.process(pkt(payload=b"GET /gate.php HTTP/1.1"))
+        assert len(p.ctx.alerts) == 1
+
+    def test_hook_node_insertion(self):
+        p = Pipeline()
+        seen = []
+
+        def hook(packet, ctx):
+            seen.append(packet.size)
+            return packet
+
+        p.insert_after("flow", HookNode("csaw-junction", hook))
+        assert "csaw-junction" in p.node_names()
+        p.process(pkt(size=77))
+        assert seen == [77]
+
+    def test_hook_can_drop(self):
+        p = Pipeline()
+        p.insert_after("decode", HookNode("filter", lambda pk, ctx: None))
+        p.process(pkt())
+        # the flow stage never saw the packet
+        assert p.ctx.flow_table.size() == 0
+
+    def test_insert_after_unknown_node(self):
+        with pytest.raises(KeyError):
+            Pipeline().insert_after("zzz", HookNode("h", lambda pk, c: pk))
+
+    def test_checkpoint_restore(self):
+        p = Pipeline()
+        for i in range(20):
+            p.process(pkt(ts=float(i), flow=ft(src_port=1000 + i)))
+        snap, cost = p.checkpoint()
+        assert cost > Pipeline.CHECKPOINT_BASE
+        p2 = Pipeline()
+        p2.restore(snap)
+        assert p2.ctx.flow_table.size() == 20
+        assert p2.packets_processed == 20
+
+
+class TestTraces:
+    def test_deterministic(self):
+        a = [(str(p.flow), p.size) for p in TraceGenerator(seed=1).packets(100)]
+        b = [(str(p.flow), p.size) for p in TraceGenerator(seed=1).packets(100)]
+        assert a == b
+
+    def test_packet_count_and_rate(self):
+        gen = TraceGenerator(packets_per_second=1000, duration=2)
+        pkts = list(gen.packets())
+        assert len(pkts) == 2000
+        assert pkts[-1].ts == pytest.approx(2.0, abs=0.01)
+
+    def test_flow_reuse(self):
+        gen = TraceGenerator(n_flows=10, seed=2)
+        flows = {str(p.flow) for p in gen.packets(500)}
+        assert len(flows) <= 10
+
+    def test_heavy_tail(self):
+        """A few flows should carry a large share of packets."""
+        gen = TraceGenerator(n_flows=100, seed=3)
+        counts = {}
+        for p in gen.packets(5000):
+            counts[str(p.flow)] = counts.get(str(p.flow), 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        assert sum(top[:10]) > 0.3 * 5000
+
+    def test_apps_varied(self):
+        gen = TraceGenerator(n_flows=200, seed=4)
+        apps = {p.app for p in gen.packets(2000)}
+        assert len(apps) >= 3
+
+    def test_suspicious_payloads_present(self):
+        gen = TraceGenerator(n_flows=50, suspicious_fraction=0.05, seed=5)
+        assert any(p.payload for p in gen.packets(1000))
+
+    def test_sharding_unevenness(self):
+        """5-tuple hashes spread flows unevenly across 4 shards — the
+        stepped curves of Fig. 24b."""
+        gen = TraceGenerator(n_flows=100, seed=7)
+        counts = [0, 0, 0, 0]
+        for p in gen.packets(4000):
+            counts[p.flow.hash() % 4] += 1
+        assert max(counts) > 1.5 * min(counts)
