@@ -1,0 +1,94 @@
+"""Traffic overhead of the reliable-delivery layer across loss rates.
+
+Not a paper figure — instrumentation for this repo's at-least-once
+delivery layer (docs/RELIABILITY.md): as network loss grows, how much
+extra traffic (retransmissions, duplicate deliveries suppressed by
+receiver-side dedup) buying reliability costs, and whether the
+workload still converges without `otherwise` handlers firing.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.compiler import compile_program
+from repro.runtime.system import System
+
+N = 200
+LOSS_RATES = (0.0, 0.1, 0.3)
+
+SRC = """
+instance_types { F, G }
+instances { f: F, g: G }
+
+def main(t) = start f(t) + start g(t)
+
+def F::j(t) =
+  | init prop !Go
+  | guard Go
+  retract[] Go;
+  ({ assert[g::j] Ping; host Ok } otherwise[t] host Lost)
+
+def G::j(t) =
+  | init prop !Ping
+  skip
+"""
+
+
+def run_at_loss(p: float):
+    system = System(compile_program(SRC), latency=0.001, seed=7)
+    system.network.drop_probability = p
+    counts = {"ok": 0, "lost": 0}
+
+    @system.host("F", "Ok")
+    def _ok(ctx):
+        counts["ok"] += 1
+
+    @system.host("F", "Lost")
+    def _lost(ctx):
+        counts["lost"] += 1
+
+    system.start(t=5.0)
+    for i in range(N):
+        system.sim.call_at(1.0 + i, lambda: system.external_update("f::j", "Go", True))
+    system.run_until(N + 10.0)
+    system.trace_net_stats(label=f"loss={p}")
+    return counts, dict(system.network.stats)
+
+
+def run_experiment():
+    return {p: run_at_loss(p) for p in LOSS_RATES}
+
+
+def test_reliability_overhead(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    rows = []
+    for p, (counts, stats) in results.items():
+        rows.append([
+            f"{p:.1f}",
+            counts["ok"],
+            counts["lost"],
+            stats.get("update_sent", 0),
+            stats.get("retransmits", 0),
+            stats.get("dedup_suppressed", 0),
+            stats.get("delivery_failures", 0),
+            f"{stats.get('update_sent', 0) / N:.2f}x",
+        ])
+    print_table(
+        "Reliable delivery — traffic overhead vs loss rate",
+        ["loss", "ok", "lost", "upd_sent", "retransmits", "dedup", "failures", "overhead"],
+        rows,
+    )
+
+    clean = results[0.0]
+    assert clean[0]["ok"] == N and clean[0]["lost"] == 0
+    assert clean[1].get("retransmits", 0) == 0  # reliability is free when lossless
+
+    for p in (0.1, 0.3):
+        counts, stats = results[p]
+        assert counts["ok"] + counts["lost"] == N  # every send resolves
+        assert counts["ok"] >= 0.9 * N  # retransmission recovers almost all
+        assert stats["retransmits"] > 0
+        assert stats["dedup_suppressed"] > 0  # lost acks caused duplicates
+
+    # overhead grows with loss
+    assert results[0.3][1]["retransmits"] > results[0.1][1]["retransmits"]

@@ -106,6 +106,17 @@ class CommunicationFailure(DslFailure):
     detected this eagerly rather than via a timeout."""
 
 
+class DeliveryFailure(CommunicationFailure):
+    """The reliable-delivery layer gave up on a remote update.
+
+    Raised into the sending strand when every retransmission attempt of
+    an update went unacknowledged (see :mod:`repro.runtime.delivery`),
+    or synchronously at send time when the per-link circuit breaker is
+    open.  Like any :class:`DslFailure` it is absorbed by ``otherwise``
+    handlers — which therefore fire as soon as the transport gives up,
+    rather than only when their own deadline expires."""
+
+
 class GuardNotSatisfied(CSawError):
     """A junction was explicitly scheduled while its guard is false.
 

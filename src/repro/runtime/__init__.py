@@ -13,6 +13,8 @@ Public surface::
 """
 
 from .channels import LinkConfig, Message, Network
+from .chaos import ChaosConfig, ChaosEngine, SoakHarness
+from .delivery import DeliveryPolicy, LinkHealth, ReliableDelivery
 from .faults import FaultPlan
 from .host import HostContext
 from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime, StateProviders
@@ -22,8 +24,14 @@ from .sim import Simulator
 from .system import System
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosEngine",
+    "DeliveryPolicy",
     "FaultPlan",
     "HostContext",
+    "LinkHealth",
+    "ReliableDelivery",
+    "SoakHarness",
     "InstanceRuntime",
     "InstanceTypeRuntime",
     "JunctionExecution",

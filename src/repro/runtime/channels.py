@@ -9,11 +9,23 @@ per-link latency, loss and partitions, which the fault-injection API
 Messages are *KV updates* (write/assert/retract) plus their
 acknowledgements; the runtime layers the paper's "remote update then
 local effect on ack" protocol (sec. 8's ``Wr_{J,γ}`` pairs) on top.
+The transport itself is unreliable by design — at-least-once semantics
+are provided one layer up by :mod:`repro.runtime.delivery`.
+
+Beyond loss and partitions, the transport exposes two chaos knobs used
+by :mod:`repro.runtime.chaos`:
+
+* ``duplicate_probability`` — a sent message is delivered twice with
+  this probability (each copy drawing its own latency), exercising the
+  receiver-side msg-id dedup;
+* ``reorder_jitter`` — each delivery adds a uniform random extra
+  latency in ``[0, reorder_jitter]``, so later messages can overtake
+  earlier ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .sim import Simulator
@@ -42,14 +54,32 @@ class LinkConfig:
     drop_probability: float | None = None
 
 
+#: Counters preset in ``Network.stats``; per-kind counters
+#: (``update_sent``, ``ack_dropped``, …) are added lazily as messages
+#: of each kind flow.  ``retransmits``, ``delivery_failures`` and
+#: ``fast_fails`` are maintained by the reliable-delivery layer;
+#: ``dedup_suppressed`` by the receiver-side dedup in ``System``.
+_BASE_STATS = (
+    "sent",
+    "delivered",
+    "dropped",
+    "duplicated",
+    "retransmits",
+    "delivery_failures",
+    "fast_fails",
+    "dedup_suppressed",
+)
+
+
 class Network:
     """Simulated message transport with latency, loss and partitions.
 
     Endpoints register a delivery callback keyed by junction node name
     (``"instance::junction"``).  Sending to an unregistered or
     partitioned endpoint silently drops the message — failure surfaces
-    at the sender as a missing acknowledgement, detected by
-    ``otherwise`` deadlines, exactly as in a real deployment.
+    at the sender as a missing acknowledgement, detected by the
+    reliable-delivery layer's retransmission timers (or by
+    ``otherwise`` deadlines), exactly as in a real deployment.
     """
 
     def __init__(
@@ -59,19 +89,23 @@ class Network:
         default_latency: float = 0.05,
         intra_latency: float = 0.0005,
         drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_jitter: float = 0.0,
         rng=None,
     ):
         self.sim = sim
         self.default_latency = default_latency
         self.intra_latency = intra_latency
         self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self.reorder_jitter = reorder_jitter
         self._rng = rng
         self._endpoints: dict[str, Callable[[Message], None]] = {}
         self._links: dict[tuple[str, str], LinkConfig] = {}
         self._partitions: set[frozenset] = set()
         self._down: set[str] = set()
         self._msg_counter = 0
-        self.stats = {"sent": 0, "delivered": 0, "dropped": 0}
+        self.stats = {k: 0 for k in _BASE_STATS}
 
     # -- wiring -------------------------------------------------------------
 
@@ -85,6 +119,24 @@ class Network:
         """Set latency/loss for a specific directed link.  ``src`` and
         ``dst`` are instance names (links are instance-to-instance)."""
         self._links[(src, dst)] = config
+
+    def set_link_loss(self, src: str, dst: str, p: float | None) -> None:
+        """Set (or with ``None`` clear) the drop probability of one
+        directed link, preserving any latency override."""
+        link = self._links.get((src, dst))
+        if link is None:
+            if p is None:
+                return
+            link = LinkConfig()
+            self._links[(src, dst)] = link
+        link.drop_probability = p
+
+    def link_latency(self, src_inst: str, dst_inst: str) -> float:
+        """The configured one-way latency of a directed link."""
+        link = self._links.get((src_inst, dst_inst))
+        if link is not None and link.latency is not None:
+            return link.latency
+        return self.intra_latency if src_inst == dst_inst else self.default_latency
 
     # -- fault injection ------------------------------------------------------
 
@@ -107,6 +159,16 @@ class Network:
     def is_partitioned(self, inst_a: str, inst_b: str) -> bool:
         return frozenset((inst_a, inst_b)) in self._partitions
 
+    # -- stats ------------------------------------------------------------------
+
+    def count(self, event: str, kind: str | None = None) -> None:
+        """Increment an aggregate counter and, when ``kind`` is given,
+        its per-message-kind variant (``update_sent``, ``ack_dropped``…)."""
+        self.stats[event] = self.stats.get(event, 0) + 1
+        if kind is not None:
+            k = f"{kind}_{event}"
+            self.stats[k] = self.stats.get(k, 0) + 1
+
     # -- sending ----------------------------------------------------------------
 
     @staticmethod
@@ -115,7 +177,7 @@ class Network:
 
     def send(self, msg: Message) -> None:
         """Send ``msg``; delivery is scheduled on the simulator."""
-        self.stats["sent"] += 1
+        self.count("sent", msg.kind)
         src_inst = self._instance_of(msg.src)
         dst_inst = self._instance_of(msg.dst)
 
@@ -124,7 +186,7 @@ class Network:
             or src_inst in self._down
             or self.is_partitioned(src_inst, dst_inst)
         ):
-            self.stats["dropped"] += 1
+            self.count("dropped", msg.kind)
             return
 
         link = self._links.get((src_inst, dst_inst))
@@ -135,24 +197,40 @@ class Network:
                 latency = link.latency
             if link.drop_probability is not None:
                 drop_p = link.drop_probability
+
+        self._schedule_delivery(msg, latency, drop_p, src_inst, dst_inst)
+        if (
+            self.duplicate_probability > 0.0
+            and self._rng is not None
+            and self._rng.random() < self.duplicate_probability
+        ):
+            self.count("duplicated", msg.kind)
+            self._schedule_delivery(msg, latency, drop_p, src_inst, dst_inst)
+
+    def _schedule_delivery(
+        self, msg: Message, latency: float, drop_p: float, src_inst: str, dst_inst: str
+    ) -> None:
         if drop_p > 0.0 and self._rng is not None and self._rng.random() < drop_p:
-            self.stats["dropped"] += 1
+            self.count("dropped", msg.kind)
             return
+        if self.reorder_jitter > 0.0 and self._rng is not None:
+            latency += self._rng.uniform(0.0, self.reorder_jitter)
 
         def deliver():
-            # Re-check reachability at delivery time: a crash or
-            # partition during flight loses the message.
+            # Re-check reachability at delivery time: a crash (of either
+            # endpoint) or a partition during flight loses the message.
             if (
                 dst_inst in self._down
+                or src_inst in self._down
                 or self.is_partitioned(src_inst, dst_inst)
             ):
-                self.stats["dropped"] += 1
+                self.count("dropped", msg.kind)
                 return
             handler = self._endpoints.get(msg.dst)
             if handler is None:
-                self.stats["dropped"] += 1
+                self.count("dropped", msg.kind)
                 return
-            self.stats["delivered"] += 1
+            self.count("delivered", msg.kind)
             handler(msg)
 
         self.sim.call_after(latency, deliver)

@@ -1,0 +1,233 @@
+"""Chaos-schedule fault engine: seeded randomized fault timelines.
+
+Concerto-D's Maude formalization (see PAPERS.md) stresses that
+decentralized reconfiguration must stay correct under asynchrony and
+message loss; the paper's own evaluation only injects hand-placed
+crashes.  This module generates *randomized but reproducible* fault
+schedules — crash/restart storms, link flaps, network-wide loss bursts,
+message duplication and reordering — and installs them on a running
+:class:`~repro.runtime.system.System` through its
+:class:`~repro.runtime.faults.FaultPlan`.  A fixed seed yields a fixed
+schedule, so chaos soak tests are deterministic and their failures
+replayable.
+
+Typical use::
+
+    engine = ChaosEngine(system, seed=7, config=ChaosConfig(horizon=20.0))
+    engine.schedule(instances=["b1", "b2"], links=[("f", "b1")])
+    soak = SoakHarness(system)
+    soak.invariant("no_failures", lambda s: not s.failures)
+    soak.run(until=engine.config.horizon + 5.0)
+    assert soak.violations == []
+
+:class:`SoakHarness` checks invariants periodically *while* the chaos
+schedule plays out, not just at the end — a wedged or diverged system is
+caught at the moment it wedges, with the simulated timestamp recorded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from ..core.errors import StartStopFailure
+from .faults import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import System
+
+
+@dataclass
+class ChaosConfig:
+    """Shape of a generated chaos schedule.
+
+    The schedule occupies ``[start_after, horizon)``; counts are per
+    target (per instance for crash storms, per link for flaps/bursts).
+    Durations are drawn uniformly from their ``(lo, hi)`` ranges.
+    """
+
+    horizon: float = 30.0
+    start_after: float = 0.5
+    #: crash/restart windows per target instance
+    crash_storms: int = 2
+    downtime: tuple[float, float] = (0.2, 1.5)
+    #: flap windows per target link
+    link_flaps: int = 1
+    flap_window: tuple[float, float] = (0.5, 2.0)
+    flap_period: float = 0.4
+    flap_duty: float = 0.5
+    #: network-wide loss bursts
+    loss_bursts: int = 2
+    burst_length: tuple[float, float] = (0.5, 2.0)
+    burst_loss: tuple[float, float] = (0.1, 0.6)
+    #: steady-state duplication / reordering during the whole schedule
+    duplication: float = 0.0
+    reorder_jitter: float = 0.0
+
+
+class ChaosEngine:
+    """Generates and installs a seeded randomized fault schedule."""
+
+    def __init__(self, system: "System", *, seed: int = 0, config: ChaosConfig | None = None):
+        self.system = system
+        self.config = config or ChaosConfig()
+        self.rng = random.Random(seed)
+        self.plan = FaultPlan(system)
+        #: the generated schedule, for reporting/replay: (time, kind, detail)
+        self.events: list[tuple[float, str, str]] = []
+        #: faults that could not be applied when their time came
+        #: (e.g. restart of an instance the architecture already revived)
+        self.skipped: list[tuple[float, str, str]] = []
+
+    # -- schedule generation -------------------------------------------------
+
+    def _slots(self, count: int) -> list[tuple[float, float]]:
+        """Split ``[start_after, horizon)`` into ``count`` equal slots —
+        one fault window is placed inside each, which guarantees windows
+        on the same target never overlap (a restart always precedes the
+        next crash)."""
+        cfg = self.config
+        span = (cfg.horizon - cfg.start_after) / max(count, 1)
+        return [
+            (cfg.start_after + i * span, cfg.start_after + (i + 1) * span)
+            for i in range(count)
+        ]
+
+    def _window(self, slot: tuple[float, float], length: tuple[float, float]) -> tuple[float, float]:
+        lo, hi = slot
+        dur = min(self.rng.uniform(*length), (hi - lo) * 0.8)
+        start = self.rng.uniform(lo, hi - dur - (hi - lo) * 0.05)
+        return start, start + dur
+
+    def schedule_crashes(self, instances: Iterable[str]) -> None:
+        """Crash/restart storms: each target instance gets
+        ``crash_storms`` non-overlapping downtime windows."""
+        for inst in instances:
+            self.system.instance(inst)  # unknown names fail at schedule time
+            for slot in self._slots(self.config.crash_storms):
+                start, end = self._window(slot, self.config.downtime)
+                self._at(start, "crash", inst, lambda i=inst: self.plan.crash(i))
+                self._at(end, "restart", inst, lambda i=inst: self.plan.restart(i))
+
+    def schedule_link_faults(self, links: Iterable[tuple[str, str]]) -> None:
+        """Link flaps: each target link gets ``link_flaps`` windows of
+        periodic up/down flapping."""
+        cfg = self.config
+        for src, dst in links:
+            for slot in self._slots(cfg.link_flaps):
+                start, end = self._window(slot, cfg.flap_window)
+                self.events.append((start, "flap", f"{src}<->{dst} until {end:.3f}"))
+                self.plan.flap_link(start, end, src, dst, cfg.flap_period, cfg.flap_duty)
+
+    def schedule_loss_bursts(self) -> None:
+        """Network-wide loss bursts of random intensity."""
+        cfg = self.config
+        for slot in self._slots(cfg.loss_bursts):
+            start, end = self._window(slot, cfg.burst_length)
+            p = self.rng.uniform(*cfg.burst_loss)
+            self.events.append((start, "loss_burst", f"p={p:.2f} until {end:.3f}"))
+            self.plan.loss_burst(start, end, p)
+
+    def schedule_knobs(self) -> None:
+        """Steady duplication/reordering over the whole schedule."""
+        cfg = self.config
+        if cfg.duplication > 0.0:
+            self._at(cfg.start_after, "duplication", f"p={cfg.duplication}",
+                     lambda: self.plan.set_duplication(cfg.duplication))
+            self._at(cfg.horizon, "duplication", "off",
+                     lambda: self.plan.set_duplication(0.0))
+        if cfg.reorder_jitter > 0.0:
+            self._at(cfg.start_after, "reorder", f"jitter={cfg.reorder_jitter}",
+                     lambda: self.plan.set_reorder(cfg.reorder_jitter))
+            self._at(cfg.horizon, "reorder", "off",
+                     lambda: self.plan.set_reorder(0.0))
+
+    def schedule(
+        self,
+        instances: Sequence[str] = (),
+        links: Sequence[tuple[str, str]] = (),
+    ) -> list[tuple[float, str, str]]:
+        """Generate and install the full schedule; returns it sorted."""
+        self.schedule_crashes(instances)
+        self.schedule_link_faults(links)
+        self.schedule_loss_bursts()
+        self.schedule_knobs()
+        self.events.sort()
+        return self.events
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _at(self, time: float, kind: str, detail: str, action: Callable[[], None]) -> None:
+        self.events.append((time, kind, detail))
+
+        def fire():
+            try:
+                action()
+            except StartStopFailure:
+                # the architecture raced us (e.g. already restarted the
+                # instance) — chaos yields, the system won
+                self.skipped.append((self.system.sim.now, kind, detail))
+
+        self.system.sim.call_at(time, fire)
+
+
+@dataclass
+class Violation:
+    time: float
+    name: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"t={self.time:.3f} {self.name}: {self.detail}"
+
+
+class SoakHarness:
+    """Runs a system under chaos while checking invariants periodically.
+
+    Invariants are callables of the system returning truthy (holds) or
+    falsy/raising (violated).  Checks run every ``check_interval`` of
+    simulated time plus once at the end of :meth:`run`."""
+
+    def __init__(self, system: "System", *, check_interval: float = 0.5):
+        self.system = system
+        self.check_interval = check_interval
+        self.invariants: dict[str, Callable[["System"], object]] = {}
+        self.violations: list[Violation] = []
+
+    def invariant(self, name: str, fn: Callable[["System"], object] | None = None):
+        """Register an invariant; usable as a decorator."""
+        if fn is None:
+            def deco(f):
+                self.invariants[name] = f
+                return f
+            return deco
+        self.invariants[name] = fn
+        return fn
+
+    def check_now(self) -> list[Violation]:
+        found = []
+        for name, fn in self.invariants.items():
+            try:
+                ok = fn(self.system)
+            except Exception as exc:
+                ok = False
+                detail = f"raised {exc!r}"
+            else:
+                detail = "returned falsy"
+            if not ok:
+                v = Violation(self.system.sim.now, name, detail)
+                found.append(v)
+                self.violations.append(v)
+        return found
+
+    def run(self, until: float) -> list[Violation]:
+        """Run the system to ``until`` with periodic invariant checks;
+        returns all recorded violations."""
+        t = self.system.sim.now + self.check_interval
+        while t < until:
+            self.system.sim.call_at(t, self.check_now)
+            t += self.check_interval
+        self.system.run_until(until)
+        self.check_now()
+        return self.violations

@@ -332,6 +332,9 @@ class JunctionExecution:
             strand.sleep_handle = None
         if strand.block is not None and strand.block.kind == "ack":
             self.awaiting_acks.pop(strand.block.msg_id, None)
+            # stop retransmitting once nothing waits for the ack (the
+            # strand was cancelled, timed out, or is being failed)
+            self.system.delivery.cancel(strand.block.msg_id)
 
     def _finish_strand(self, strand: Strand, exc: BaseException | None) -> None:
         strand.state = "failed" if exc is not None else "done"
@@ -403,6 +406,14 @@ class JunctionExecution:
         strand = self.awaiting_acks.pop(msg_id, None)
         if strand is not None:
             self._wake(strand)
+
+    def on_delivery_failure(self, msg_id: int, exc: BaseException) -> None:
+        """The delivery layer exhausted its retransmission budget for
+        ``msg_id``: fail the waiting strand so ``otherwise`` handlers
+        fire promptly rather than only via their own deadlines."""
+        strand = self.awaiting_acks.pop(msg_id, None)
+        if strand is not None:
+            self._wake(strand, throw=exc)
 
     # ------------------------------------------------------------------
     # Formula evaluation
@@ -599,9 +610,13 @@ class JunctionExecution:
             self.table.set_local(key, value)
             return
         target = self.system.resolve_target(e.target, self.jr)
+        seq_before = self.table.recv_seq_of(key)
         yield from self._remote_update(target, key, value)
-        # local effect only after the remote update is acknowledged
-        if self.table.has(key):
+        # local effect only after the remote update is acknowledged —
+        # and only if no remote update to the key arrived in between
+        # (an ack, possibly of a retransmission, confirms old state and
+        # must not clobber newer information)
+        if self.table.has(key) and self.table.recv_seq_of(key) == seq_before:
             self.table.set_local(key, value)
 
     def _resolve_prop_key(self, e) -> str:
@@ -616,16 +631,18 @@ class JunctionExecution:
         return e.key()
 
     def _remote_update(self, target: "JunctionRuntime", key: str, value: object) -> Generator:
-        net = self.system.network
-        msg_id = net.next_msg_id()
-        net.send(
+        msg_id = self.system.network.next_msg_id()
+        # reliable send: retransmitted with backoff until acked; raises
+        # DeliveryFailure synchronously if the link's breaker is open
+        self.system.delivery.send(
             Message(
                 src=self.jr.node,
                 dst=target.node,
                 kind="update",
                 payload=Update(key=key, value=value, src=self.jr.node),
                 msg_id=msg_id,
-            )
+            ),
+            on_fail=lambda exc, m=msg_id: self.on_delivery_failure(m, exc),
         )
         yield Blocked("ack", msg_id=msg_id)
 

@@ -21,6 +21,7 @@ Semantics implemented here (paper sec. 6 "Junction state" and sec. 8
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -70,12 +71,24 @@ class WaitWindow:
 class KVTable:
     """A junction's key-value table."""
 
+    #: how many recently-seen message ids the dedup filter remembers;
+    #: a retransmission storm longer than this window could re-apply an
+    #: update, so it is sized far above any retransmission budget
+    DEDUP_WINDOW = 4096
+
     def __init__(self, owner: str = "?"):
         self.owner = owner
         self.values: dict[str, object] = {}
         self.pending: list[Update] = []
         self.windows: list[WaitWindow] = []
         self.executing = False
+        self._seen_msg_ids: set[int] = set()
+        self._seen_order: deque[int] = deque()
+        #: per-key count of *received* remote updates; lets the
+        #: interpreter detect that a remote update to a key arrived
+        #: between sending an update and getting its (possibly
+        #: retransmitted, hence late) ack — see ``recv_seq_of``
+        self._recv_seq: dict[str, int] = {}
         #: called when an update arrives while idle (runtime uses this
         #: to attempt a scheduling of the owning junction)
         self.on_idle_update: Callable[[], None] | None = None
@@ -134,8 +147,35 @@ class KVTable:
 
     # -- remote updates ------------------------------------------------------
 
+    def note_msg_id(self, msg_id: int) -> bool:
+        """Record a delivered message id; ``False`` if already seen.
+
+        The reliable-delivery layer retransmits updates whose ack was
+        lost, so a receiver can see the same update twice; this bounded
+        filter makes application of updates exactly-once.  The window is
+        FIFO-evicted — message ids are monotonically increasing, so the
+        oldest ids are the ones whose retransmissions have longest since
+        ceased."""
+        if msg_id in self._seen_msg_ids:
+            return False
+        self._seen_msg_ids.add(msg_id)
+        self._seen_order.append(msg_id)
+        if len(self._seen_order) > self.DEDUP_WINDOW:
+            self._seen_msg_ids.discard(self._seen_order.popleft())
+        return True
+
+    def recv_seq_of(self, key: str) -> int:
+        """How many remote updates to ``key`` have ever arrived.  The
+        interpreter samples this before a remote assert/retract and
+        applies the deferred local effect only if it is unchanged when
+        the ack arrives: an acknowledgement (especially a retransmitted
+        one) confirms *old* information, and must not overwrite — and,
+        via local priority, discard — a newer remote update."""
+        return self._recv_seq.get(key, 0)
+
     def receive(self, update: Update) -> None:
         """Handle an arriving remote update."""
+        self._recv_seq[update.key] = self._recv_seq.get(update.key, 0) + 1
         if self.executing:
             admitted = any(w.active and update.key in w.admits for w in self.windows)
             if admitted:

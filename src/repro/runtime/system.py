@@ -48,6 +48,7 @@ from ..core.formula import TRUE, UNKNOWN, evaluate
 from ..core.validate import validate_closed_junction
 from ..serde.framing import Serializer
 from .channels import Message, Network
+from .delivery import DeliveryPolicy, ReliableDelivery
 from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime
 from .interpreter import JunctionExecution
 from .kvtable import UNDEF, Update
@@ -67,6 +68,7 @@ class System:
         seed: int = 0,
         serializer: Serializer | None = None,
         sim: Simulator | None = None,
+        delivery_policy: DeliveryPolicy | None = None,
     ):
         self.program = program
         self.sim = sim or Simulator()
@@ -74,6 +76,7 @@ class System:
         self.network = Network(
             self.sim, default_latency=latency, intra_latency=intra_latency, rng=self.rng
         )
+        self.delivery = ReliableDelivery(self, delivery_policy, seed=seed)
         self.max_retries = max_retries
         self.serializer = serializer or Serializer()
 
@@ -393,12 +396,18 @@ class System:
         def deliver(msg: Message) -> None:
             if msg.kind == "update":
                 if not jr.instance.alive:
-                    return  # no ack: sender times out
-                jr.table.receive(msg.payload)
+                    return  # no ack: sender retransmits / times out
+                # retransmitted updates (lost ack) apply exactly once,
+                # but every copy is (re-)acknowledged
+                if msg.msg_id and not jr.table.note_msg_id(msg.msg_id):
+                    self.network.count("dedup_suppressed", msg.kind)
+                else:
+                    jr.table.receive(msg.payload)
                 self.network.send(
                     Message(src=jr.node, dst=msg.src, kind="ack", payload=msg.msg_id, msg_id=msg.msg_id)
                 )
             elif msg.kind == "ack":
+                self.delivery.ack(msg.payload)
                 ex = self._executions.get(jr.node)
                 if ex is not None:
                     ex.on_ack(msg.payload)
@@ -511,6 +520,14 @@ class System:
 
     def on_trace(self, hook: Callable[[dict], None]) -> None:
         self._trace_hooks.append(hook)
+
+    def trace_net_stats(self, label: str = "") -> dict:
+        """Snapshot the network's reliability counters into the trace
+        (kind ``net_stats``) and return them — benchmarks use this to
+        report retransmission/dedup overhead alongside their figures."""
+        stats = dict(self.network.stats)
+        self.trace("net_stats", "__network__", label=label, **stats)
+        return stats
 
     @property
     def trace_log(self) -> list[dict]:

@@ -48,7 +48,21 @@ class TestDelivery:
         sim, net, inbox = setup()
         net.send(msg())
         sim.run()
-        assert net.stats == {"sent": 1, "delivered": 1, "dropped": 0}
+        assert net.stats["sent"] == 1
+        assert net.stats["delivered"] == 1
+        assert net.stats["dropped"] == 0
+
+    def test_per_kind_stats(self):
+        sim, net, inbox = setup()
+        net.send(msg(kind="update"))
+        net.send(msg(src="b::j", dst="a::j", kind="ack"))
+        net.send(msg(dst="zzz::j", kind="ack"))
+        sim.run()
+        assert net.stats["update_sent"] == 1
+        assert net.stats["update_delivered"] == 1
+        assert net.stats["ack_sent"] == 2
+        assert net.stats["ack_delivered"] == 1
+        assert net.stats["ack_dropped"] == 1
 
     def test_per_link_latency_override(self):
         sim, net, inbox = setup()
@@ -79,6 +93,16 @@ class TestFaults:
         sim, net, inbox = setup()
         net.send(msg())
         sim.call_at(0.05, lambda: net.set_down("b"))
+        sim.run()
+        assert inbox == []
+        assert net.stats["dropped"] == 1
+
+    def test_source_crash_during_flight_loses_message(self):
+        # delivery-time re-check is symmetric: a message from an
+        # instance that crashed mid-flight is lost too
+        sim, net, inbox = setup()
+        net.send(msg())
+        sim.call_at(0.05, lambda: net.set_down("a"))
         sim.run()
         assert inbox == []
         assert net.stats["dropped"] == 1
@@ -130,3 +154,75 @@ class TestFaults:
         net.send(msg())
         sim.run()
         assert inbox == []
+
+
+class TestChaosKnobs:
+    def test_duplicate_probability_delivers_twice(self):
+        sim = Simulator()
+        net = Network(sim, default_latency=0.01, duplicate_probability=1.0, rng=random.Random(0))
+        got = []
+        net.register("b::j", got.append)
+        net.send(msg())
+        sim.run()
+        assert len(got) == 2
+        assert net.stats["duplicated"] == 1
+        assert net.stats["update_delivered"] == 2
+
+    def test_link_loss_beats_duplication(self):
+        sim = Simulator()
+        net = Network(
+            sim, default_latency=0.01, drop_probability=1.0,
+            duplicate_probability=1.0, rng=random.Random(0),
+        )
+        got = []
+        net.register("b::j", got.append)
+        net.send(msg())
+        sim.run()
+        assert got == []
+        assert net.stats["dropped"] == 2  # both copies drawn, both lost
+
+    def test_reorder_jitter_can_invert_order(self):
+        # two back-to-back sends on the same link; with jitter a later
+        # message can overtake an earlier one (seed chosen to do so)
+        for seed in range(50):
+            sim = Simulator()
+            net = Network(sim, default_latency=0.01, reorder_jitter=0.05, rng=random.Random(seed))
+            got = []
+            net.register("b::j", lambda m: got.append(m.payload))
+            net.send(msg(payload="first"))
+            net.send(msg(payload="second"))
+            sim.run()
+            if got == ["second", "first"]:
+                return
+        raise AssertionError("no seed in range produced a reordering")
+
+    def test_no_jitter_preserves_order(self):
+        sim = Simulator()
+        net = Network(sim, default_latency=0.01, rng=random.Random(0))
+        got = []
+        net.register("b::j", lambda m: got.append(m.payload))
+        net.send(msg(payload="first"))
+        net.send(msg(payload="second"))
+        sim.run()
+        assert got == ["first", "second"]
+
+    def test_set_link_loss_overrides_and_clears(self):
+        sim = Simulator()
+        net = Network(sim, default_latency=0.01, rng=random.Random(0))
+        got = []
+        net.register("b::j", got.append)
+        net.set_link_loss("a", "b", 1.0)
+        net.send(msg())
+        net.set_link_loss("a", "b", None)
+        net.send(msg())
+        sim.run()
+        assert len(got) == 1
+        assert net.stats["dropped"] == 1
+
+    def test_link_latency_reports_overrides(self):
+        sim = Simulator()
+        net = Network(sim, default_latency=0.1, intra_latency=0.001)
+        assert net.link_latency("a", "b") == 0.1
+        assert net.link_latency("a", "a") == 0.001
+        net.configure_link("a", "b", LinkConfig(latency=0.5))
+        assert net.link_latency("a", "b") == 0.5
