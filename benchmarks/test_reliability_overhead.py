@@ -50,8 +50,11 @@ def run_at_loss(p: float):
     for i in range(N):
         system.sim.call_at(1.0 + i, lambda: system.external_update("f::j", "Go", True))
     system.run_until(N + 10.0)
-    system.trace_net_stats(label=f"loss={p}")
-    return counts, dict(system.network.stats)
+    # read the labeled net_* counters back from the metrics registry
+    reg = system.telemetry.metrics
+    stats = dict(system.network.stats)
+    assert stats["update_sent"] == reg.sum("net_sent", kind="update")
+    return counts, stats
 
 
 def run_experiment():

@@ -9,9 +9,9 @@ prints the overhead table plus a peek at the tamper-evident audit log.
 Run:  python examples/curl_auditing.py
 """
 
+from repro.api import Simulator
 from repro.arch.snapshot import RemoteAuditor
 from repro.curlite import FileServer, run_sweep
-from repro.runtime.sim import Simulator
 
 SIZES = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
 

@@ -13,7 +13,7 @@ Shows the whole public API surface in one file:
 Run:  python examples/quickstart.py
 """
 
-from repro import System, compile_program
+from repro.api import System, compile_program
 from repro.core import topology_edges
 from repro.semantics import denote_program, to_text
 

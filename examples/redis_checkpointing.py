@@ -9,9 +9,9 @@ last snapshot, losing only the writes since then.
 Run:  python examples/redis_checkpointing.py
 """
 
+from repro.api import Simulator
 from repro.arch.checkpointing import CheckpointedService
 from repro.redislite import BenchDriver, DirectPort, RedisServer, WorkloadGenerator
-from repro.runtime.sim import Simulator
 
 DURATION = 120.0
 CHECKPOINT_EVERY = 15.0

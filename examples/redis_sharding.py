@@ -12,6 +12,7 @@ and prints per-shard request distributions and latency statistics.
 Run:  python examples/redis_sharding.py
 """
 
+from repro.api import Simulator
 from repro.arch.sharding import ShardedRedis
 from repro.direct.sharding import DirectShardedRedis
 from repro.redislite import (
@@ -20,7 +21,6 @@ from repro.redislite import (
     RedisServer,
     WorkloadGenerator,
 )
-from repro.runtime.sim import Simulator
 
 DURATION = 3.0
 N_SHARDS = 4

@@ -28,11 +28,23 @@ Quick start::
     system = System(prog)
     system.start(t=5.0)
     system.run_until(100.0)
+
+The stable import surface is :mod:`repro.api` — everything an
+embedding application needs (System, Simulator, Telemetry, the arch
+loaders, chaos/fault knobs) without reaching into internal modules.
 """
 
 from .core import compile_program, parse_program
 from .runtime import FaultPlan, System
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
-__all__ = ["FaultPlan", "System", "compile_program", "parse_program", "__version__"]
+__all__ = [
+    "FaultPlan",
+    "System",
+    "Telemetry",
+    "compile_program",
+    "parse_program",
+    "__version__",
+]

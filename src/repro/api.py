@@ -1,0 +1,80 @@
+"""Stable public facade of the reproduction.
+
+Import from here (or from :mod:`repro` itself) rather than from the
+internal module layout — ``repro.runtime.*`` / ``repro.core.*`` paths
+are implementation detail and may move between releases; this module's
+``__all__`` is the compatibility surface::
+
+    from repro.api import System, Simulator, Telemetry, load_program
+
+    system = System(load_program("sharding", n_backends=4))
+    system.start(t=5.0)
+    system.run_until(60.0)
+    print(system.telemetry.export("jsonl"))
+
+The surface covers the four things an embedding application touches:
+
+* **the DSL** — ``parse_program`` / ``compile_program`` plus the
+  packaged paper architectures via ``load_program`` / ``ARCHITECTURES``;
+* **the runtime** — ``System``, its ``Simulator`` clock, and the
+  delivery/fault knobs (``DeliveryPolicy``, ``FaultPlan``,
+  ``ChaosConfig`` / ``ChaosEngine`` / ``SoakHarness``);
+* **observability** — the ``Telemetry`` facade (``system.telemetry``)
+  and its metric/exporter types; see ``docs/OBSERVABILITY.md``;
+* **errors** — the ``CSawError`` hierarchy root and the failure types
+  an application is expected to catch.
+"""
+
+from __future__ import annotations
+
+from .arch.loader import ARCHITECTURES, backend_names, load_program, load_source
+from .core.compiler import CompiledProgram, compile_program
+from .core.errors import CSawError, DeliveryFailure, DslFailure
+from .core.parser import parse_program
+from .runtime import (
+    ChaosConfig,
+    ChaosEngine,
+    DeliveryPolicy,
+    FaultPlan,
+    HostContext,
+    Simulator,
+    SoakHarness,
+    System,
+)
+from .telemetry import (
+    MetricsRegistry,
+    RingBufferSink,
+    Telemetry,
+    TraceEvent,
+    capture_systems,
+)
+
+__all__ = [
+    # DSL
+    "ARCHITECTURES",
+    "CompiledProgram",
+    "backend_names",
+    "compile_program",
+    "load_program",
+    "load_source",
+    "parse_program",
+    # runtime
+    "ChaosConfig",
+    "ChaosEngine",
+    "DeliveryPolicy",
+    "FaultPlan",
+    "HostContext",
+    "Simulator",
+    "SoakHarness",
+    "System",
+    # observability
+    "MetricsRegistry",
+    "RingBufferSink",
+    "Telemetry",
+    "TraceEvent",
+    "capture_systems",
+    # errors
+    "CSawError",
+    "DeliveryFailure",
+    "DslFailure",
+]

@@ -26,7 +26,7 @@ import inspect
 from dataclasses import dataclass
 from pathlib import Path
 
-from .loader import dsl_path, load_source
+from .loader import load_source
 
 
 def count_loc_text(text: str, comment_prefixes: tuple[str, ...] = ("#",)) -> int:

@@ -8,6 +8,10 @@ Commands:
 * ``semantics`` — print the event-structure semantics per junction
                   (``--dot`` for Graphviz output).
 * ``loc``       — count non-blank, non-comment lines.
+* ``trace``     — run an architecture (a ``.csaw`` file or an example
+                  ``.py`` script) with telemetry on and export the
+                  causal trace as JSONL or Chrome trace-event JSON
+                  (loadable in ``chrome://tracing`` / Perfetto).
 
 Configuration values (set contents, parameters) are supplied as
 ``--config name=value`` pairs; values parse as numbers, comma-separated
@@ -105,6 +109,70 @@ def cmd_loc(args) -> int:
     return 0
 
 
+def _trace_py(path: Path) -> list:
+    """Run a Python script, capturing the telemetry of every System it
+    constructs.  The script's stdout goes to stderr so the export owns
+    stdout."""
+    import contextlib
+    import runpy
+
+    from .telemetry.facade import capture_systems
+
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        with capture_systems() as captured, contextlib.redirect_stdout(sys.stderr):
+            runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return captured
+
+
+def _trace_csaw(path: Path, config: dict, until: float) -> list:
+    from .runtime.system import System
+
+    prog = compile_program(path.read_text(), config=config)
+    system = System(prog)
+    system.start()
+    system.run_until(until)
+    return [system.telemetry]
+
+
+def cmd_trace(args) -> int:
+    from .telemetry.sinks import chrome_json, to_jsonl
+
+    path = Path(args.file)
+    if path.suffix == ".py":
+        telemetries = _trace_py(path)
+    else:
+        telemetries = _trace_csaw(path, _parse_config(args.config), args.until)
+    if not telemetries:
+        print("error: the traced program constructed no System", file=sys.stderr)
+        return 1
+
+    labels = (
+        ["system"]
+        if len(telemetries) == 1
+        else [f"system{i}" for i in range(len(telemetries))]
+    )
+    if args.format == "chrome":
+        out = chrome_json(
+            [(lbl, tel.events) for lbl, tel in zip(labels, telemetries)]
+        )
+    else:
+        out = "".join(
+            to_jsonl(tel.events, system=None if len(telemetries) == 1 else lbl)
+            for lbl, tel in zip(labels, telemetries)
+        )
+    if args.out:
+        Path(args.out).write_text(out)
+        total = sum(len(tel.events) for tel in telemetries)
+        print(f"wrote {total} event(s) to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="C-Saw architecture tooling"
@@ -139,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("loc", help="count effective lines of code")
     sp.add_argument("file")
     sp.set_defaults(fn=cmd_loc)
+
+    sp = sub.add_parser(
+        "trace", help="run with telemetry and export the causal trace"
+    )
+    sp.add_argument("file", help="a .csaw architecture or an example .py script")
+    sp.add_argument(
+        "--config", action="append", default=[], metavar="NAME=VALUE",
+        help="load-time configuration (for .csaw files); repeatable",
+    )
+    sp.add_argument(
+        "--format", choices=("jsonl", "chrome"), default="jsonl",
+        help="export format (default: jsonl)",
+    )
+    sp.add_argument(
+        "--until", type=float, default=60.0,
+        help="simulated seconds to run a .csaw file for (default: 60)",
+    )
+    sp.add_argument("--out", help="write to this file instead of stdout")
+    sp.set_defaults(fn=cmd_trace)
 
     return p
 

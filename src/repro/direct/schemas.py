@@ -16,7 +16,6 @@ from ..serde.ctypes_model import (
     Pointer,
     Primitive,
     SizedBuffer,
-    Struct,
     TaggedUnion,
     TypeRegistry,
 )

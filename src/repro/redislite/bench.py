@@ -11,6 +11,14 @@ implementations).
 Results collect completion timestamps and latencies, yielding the
 throughput-over-time series (Figs. 23a/23c), cumulative per-class
 request counts (Figs. 23b/26c) and latency CDFs (Figs. 25c/26b).
+
+Each driver also feeds a :class:`~repro.telemetry.MetricsRegistry`:
+per-op ``bench_latency_seconds`` histograms and ``bench_completions``
+counters.  ``mean_latency`` is answered from the histogram's exact
+sum/count (percentiles and CDFs still use the raw completion log —
+figure assertions need unquantized latencies).  Pass ``metrics=`` to
+aggregate several runs into one registry (e.g. the system's own, via
+``system.telemetry.metrics``).
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from ..runtime.sim import Simulator
+from ..telemetry import MetricsRegistry
 from .server import Command, RedisServer, Reply
 from .workload import WorkloadGenerator
 
@@ -74,14 +83,17 @@ def _estimate_cost(server: RedisServer, cmd: Command) -> tuple[None, float]:
 
 @dataclass
 class BenchResults:
-    """Completion log of one benchmark run."""
+    """Completion log + latency metrics of one benchmark run."""
 
     completions: list[tuple[float, float, Command, Reply]] = field(default_factory=list)
     started_at: float = 0.0
     finished_at: float = 0.0
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def record(self, t: float, latency: float, cmd: Command, reply: Reply) -> None:
         self.completions.append((t, latency, cmd, reply))
+        self.metrics.histogram("bench_latency_seconds", op=cmd.op).observe(latency)
+        self.metrics.counter("bench_completions", op=cmd.op).inc()
 
     @property
     def count(self) -> int:
@@ -142,8 +154,19 @@ class BenchResults:
         return lats[i]
 
     def mean_latency(self, op: str | None = None) -> float:
-        lats = self.latencies(op)
-        return sum(lats) / len(lats) if lats else float("nan")
+        """Mean latency, answered from the registry histograms (their
+        sum/count are exact, so this equals the raw-log mean)."""
+        total = 0.0
+        count = 0
+        for _name, labels, h in self.metrics.collect("bench_latency_seconds"):
+            if op is None or labels.get("op") == op:
+                total += h.sum
+                count += h.count
+        return total / count if count else float("nan")
+
+    def latency_histogram(self, op: str):
+        """The per-op latency histogram (bucketized shape for reports)."""
+        return self.metrics.histogram("bench_latency_seconds", op=op)
 
 
 class BenchDriver:
@@ -157,13 +180,19 @@ class BenchDriver:
         *,
         clients: int = 8,
         think_time: float = 0.0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.sim = sim
         self.port = port
         self.workload = workload
         self.clients = clients
         self.think_time = think_time
-        self.results = BenchResults()
+        # a fresh registry per driver by default, so repeated runs don't
+        # aggregate; pass the system's (system.telemetry.metrics) to
+        # land bench metrics next to the runtime's
+        self.results = BenchResults(
+            metrics=metrics if metrics is not None else MetricsRegistry()
+        )
         self._deadline = 0.0
         self._inflight = 0
 

@@ -26,9 +26,13 @@ by :mod:`repro.runtime.chaos`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from ..telemetry import MetricsRegistry
 from .sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -54,11 +58,15 @@ class LinkConfig:
     drop_probability: float | None = None
 
 
-#: Counters preset in ``Network.stats``; per-kind counters
-#: (``update_sent``, ``ack_dropped``, …) are added lazily as messages
-#: of each kind flow.  ``retransmits``, ``delivery_failures`` and
-#: ``fast_fails`` are maintained by the reliable-delivery layer;
-#: ``dedup_suppressed`` by the receiver-side dedup in ``System``.
+#: Counters preset in the ``Network.stats`` legacy view; per-kind
+#: counters (``update_sent``, ``ack_dropped``, …) appear lazily as
+#: messages of each kind flow.  ``retransmits``, ``delivery_failures``
+#: and ``fast_fails`` are maintained by the reliable-delivery layer;
+#: ``dedup_suppressed`` by the receiver-side dedup in ``System``.  The
+#: backing store is a :class:`~repro.telemetry.MetricsRegistry` of
+#: ``net_<event>`` counters labeled per message kind and per directed
+#: instance link; ``stats`` aggregates them back into the flat dict
+#: shape the pre-telemetry API exposed.
 _BASE_STATS = (
     "sent",
     "delivered",
@@ -92,6 +100,7 @@ class Network:
         duplicate_probability: float = 0.0,
         reorder_jitter: float = 0.0,
         rng=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.sim = sim
         self.default_latency = default_latency
@@ -105,7 +114,11 @@ class Network:
         self._partitions: set[frozenset] = set()
         self._down: set[str] = set()
         self._msg_counter = 0
-        self.stats = {k: 0 for k in _BASE_STATS}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: set by System so transport-level drops appear in the causal
+        #: trace; a bare Network (unit tests) leaves it None
+        self.telemetry: "Telemetry | None" = None
+        self._counters: dict[tuple, object] = {}
 
     # -- wiring -------------------------------------------------------------
 
@@ -161,13 +174,44 @@ class Network:
 
     # -- stats ------------------------------------------------------------------
 
-    def count(self, event: str, kind: str | None = None) -> None:
-        """Increment an aggregate counter and, when ``kind`` is given,
-        its per-message-kind variant (``update_sent``, ``ack_dropped``…)."""
-        self.stats[event] = self.stats.get(event, 0) + 1
-        if kind is not None:
-            k = f"{kind}_{event}"
-            self.stats[k] = self.stats.get(k, 0) + 1
+    def count(
+        self,
+        event: str,
+        kind: str | None = None,
+        src: str | None = None,
+        dst: str | None = None,
+    ) -> None:
+        """Increment the ``net_<event>`` counter labeled by message
+        ``kind`` and directed instance link ``src``→``dst`` (labels are
+        omitted when unknown).  Handles are cached per combination, so
+        the hot path is one dict hit + one integer increment."""
+        key = (event, kind, src, dst)
+        c = self._counters.get(key)
+        if c is None:
+            labels = {}
+            if kind is not None:
+                labels["kind"] = kind
+            if src is not None:
+                labels["src"] = src
+            if dst is not None:
+                labels["dst"] = dst
+            c = self._counters[key] = self.metrics.counter(f"net_{event}", **labels)
+        c.inc()
+
+    @property
+    def stats(self) -> dict:
+        """The flat pre-telemetry counter view, aggregated from the
+        registry: ``sent``/``dropped``/… totals plus per-kind variants
+        (``update_sent``, ``ack_dropped``, …)."""
+        out = {k: 0 for k in _BASE_STATS}
+        for name, labels, metric in self.metrics.collect("net_"):
+            event = name[4:]
+            out[event] = out.get(event, 0) + metric.value
+            kind = labels.get("kind")
+            if kind is not None:
+                k = f"{kind}_{event}"
+                out[k] = out.get(k, 0) + metric.value
+        return out
 
     # -- sending ----------------------------------------------------------------
 
@@ -177,16 +221,16 @@ class Network:
 
     def send(self, msg: Message) -> None:
         """Send ``msg``; delivery is scheduled on the simulator."""
-        self.count("sent", msg.kind)
         src_inst = self._instance_of(msg.src)
         dst_inst = self._instance_of(msg.dst)
+        self.count("sent", msg.kind, src_inst, dst_inst)
 
         if (
             dst_inst in self._down
             or src_inst in self._down
             or self.is_partitioned(src_inst, dst_inst)
         ):
-            self.count("dropped", msg.kind)
+            self._drop(msg, src_inst, dst_inst, "unreachable")
             return
 
         link = self._links.get((src_inst, dst_inst))
@@ -204,14 +248,28 @@ class Network:
             and self._rng is not None
             and self._rng.random() < self.duplicate_probability
         ):
-            self.count("duplicated", msg.kind)
+            self.count("duplicated", msg.kind, src_inst, dst_inst)
             self._schedule_delivery(msg, latency, drop_p, src_inst, dst_inst)
+
+    def _drop(self, msg: Message, src_inst: str, dst_inst: str, reason: str) -> None:
+        self.count("dropped", msg.kind, src_inst, dst_inst)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.emit(
+                "drop",
+                msg.dst,
+                parent=tel.message_event(msg.msg_id),
+                msg_kind=msg.kind,
+                src=msg.src,
+                msg_id=msg.msg_id,
+                reason=reason,
+            )
 
     def _schedule_delivery(
         self, msg: Message, latency: float, drop_p: float, src_inst: str, dst_inst: str
     ) -> None:
         if drop_p > 0.0 and self._rng is not None and self._rng.random() < drop_p:
-            self.count("dropped", msg.kind)
+            self._drop(msg, src_inst, dst_inst, "loss")
             return
         if self.reorder_jitter > 0.0 and self._rng is not None:
             latency += self._rng.uniform(0.0, self.reorder_jitter)
@@ -224,13 +282,13 @@ class Network:
                 or src_inst in self._down
                 or self.is_partitioned(src_inst, dst_inst)
             ):
-                self.count("dropped", msg.kind)
+                self._drop(msg, src_inst, dst_inst, "unreachable")
                 return
             handler = self._endpoints.get(msg.dst)
             if handler is None:
-                self.count("dropped", msg.kind)
+                self._drop(msg, src_inst, dst_inst, "unregistered")
                 return
-            self.count("delivered", msg.kind)
+            self.count("delivered", msg.kind, src_inst, dst_inst)
             handler(msg)
 
         self.sim.call_after(latency, deliver)

@@ -149,7 +149,7 @@ class ReliableDelivery:
             if now - health.opened_at >= self.policy.breaker_cooldown:
                 health.state = "half-open"
             else:
-                net.count("fast_fails", msg.kind)
+                net.count("fast_fails", msg.kind, src_inst, dst_inst)
                 raise DeliveryFailure(
                     f"{msg.src}: link to {dst_inst} is circuit-open "
                     f"({health.consecutive_failures} consecutive delivery failures)"
@@ -157,7 +157,7 @@ class ReliableDelivery:
         probe = False
         if health.state == "half-open":
             if health.probe_in_flight:
-                net.count("fast_fails", msg.kind)
+                net.count("fast_fails", msg.kind, src_inst, dst_inst)
                 raise DeliveryFailure(
                     f"{msg.src}: link to {dst_inst} is half-open with a probe in flight"
                 )
@@ -191,10 +191,12 @@ class ReliableDelivery:
         pending.attempts += 1
         pending.timeout = min(pending.timeout * self.policy.backoff, self.policy.max_timeout)
         net = self.system.network
-        net.count("retransmits", pending.msg.kind)
-        self.system.trace(
+        net.count("retransmits", pending.msg.kind, *pending.link)
+        tel = self.system.telemetry
+        tel.emit(
             "retransmit",
             pending.msg.src,
+            parent=tel.message_event(msg_id),
             dst=pending.msg.dst,
             msg_id=msg_id,
             attempt=pending.attempts,
@@ -207,10 +209,12 @@ class ReliableDelivery:
         del self.outstanding[msg.msg_id]
         health = self.link_health(*pending.link)
         health.record_failure(self.system.sim.now, self.policy.breaker_threshold)
-        self.system.network.count("delivery_failures", msg.kind)
-        self.system.trace(
+        self.system.network.count("delivery_failures", msg.kind, *pending.link)
+        tel = self.system.telemetry
+        tel.emit(
             "delivery_failed",
             msg.src,
+            parent=tel.message_event(msg.msg_id),
             dst=msg.dst,
             msg_id=msg.msg_id,
             attempts=pending.attempts,

@@ -40,7 +40,6 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from ..core import ast as A
 from ..core.errors import (
-    CommunicationFailure,
     DslFailure,
     HostError,
     ReconsiderFailure,
@@ -171,7 +170,12 @@ def _is_self_or_ancestor(candidate: "Strand", strand: "Strand | None") -> bool:
 class JunctionExecution:
     """One scheduling of a junction."""
 
-    def __init__(self, system: "System", jr: "JunctionRuntime"):
+    def __init__(
+        self,
+        system: "System",
+        jr: "JunctionRuntime",
+        parent_event: int | None = None,
+    ):
         self.system = system
         self.jr = jr
         self.table = jr.table
@@ -186,6 +190,12 @@ class JunctionExecution:
         self._current: Strand | None = None
         self._retry_budget = system.max_retries
         self.active_txs: list[_TxScope] = []
+        #: causal parent of this scheduling (the ``attempt`` event)
+        self.parent_event = parent_event
+        #: the ``sched`` event — causal parent of everything this
+        #: execution does (sends, lifecycle actions, the ``unsched``)
+        self.sched_event: int | None = None
+        self._sched_at = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -196,7 +206,10 @@ class JunctionExecution:
         self.table.on_local_write = self._on_local_write
         self.jr.status = "running"
         self.jr.sched_count += 1
-        self.system.trace("sched", self.jr.node)
+        tel = self.system.telemetry
+        tel.counter("junction_scheds", node=self.jr.node).inc()
+        self._sched_at = self.system.sim.now
+        self.sched_event = tel.emit("sched", self.jr.node, parent=self.parent_event)
         self.root = self._spawn(self._root_gen(), parent=None)
         self._pump()
 
@@ -382,7 +395,7 @@ class JunctionExecution:
         self.table.executing = False
         self.table.on_local_write = None
         self.jr.status = "idle"
-        self.system.trace("unsched", self.jr.node, outcome=self.outcome, failure=exc)
+        self._emit_unsched(self.outcome, exc)
         self.system.execution_finished(self.jr, self)
 
     def cancel(self) -> None:
@@ -396,7 +409,17 @@ class JunctionExecution:
         self.table.executing = False
         self.table.on_local_write = None
         self.jr.status = "idle"
-        self.system.trace("unsched", self.jr.node, outcome="cancelled", failure=None)
+        self._emit_unsched("cancelled", None)
+
+    def _emit_unsched(self, outcome: str | None, exc: BaseException | None) -> None:
+        tel = self.system.telemetry
+        tel.histogram("junction_execution_seconds", node=self.jr.node).observe(
+            self.system.sim.now - self._sched_at
+        )
+        tel.counter("junction_unscheds", node=self.jr.node, outcome=outcome or "?").inc()
+        tel.emit(
+            "unsched", self.jr.node, parent=self.sched_event, outcome=outcome, failure=exc
+        )
 
     # ------------------------------------------------------------------
     # Message handling
@@ -632,6 +655,18 @@ class JunctionExecution:
 
     def _remote_update(self, target: "JunctionRuntime", key: str, value: object) -> Generator:
         msg_id = self.system.network.next_msg_id()
+        tel = self.system.telemetry
+        tel.bind_message(
+            msg_id,
+            tel.emit(
+                "send",
+                self.jr.node,
+                parent=self.sched_event,
+                dst=target.node,
+                key=key,
+                msg_id=msg_id,
+            ),
+        )
         # reliable send: retransmitted with backoff until acked; raises
         # DeliveryFailure synchronously if the link's breaker is open
         self.system.delivery.send(

@@ -96,6 +96,21 @@ class KVTable:
         #: applied — the interpreter's transaction undo logging
         self.on_local_write: Callable[[str, object], None] | None = None
         self._tx_stack: list[dict[str, object]] = []
+        # cached metric handles; None until attach_telemetry so a bare
+        # KVTable (unit tests) pays nothing
+        self._ctr_received = None
+        self._ctr_applied = None
+        self._gauge_pending = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire this table's KV counters into a system's telemetry
+        registry: ``kv_updates_received`` / ``kv_updates_applied``
+        counters and a ``kv_pending_updates`` gauge, all labeled by the
+        owning junction node.  Handles are cached so the instrumented
+        paths cost one integer increment each."""
+        self._ctr_received = telemetry.counter("kv_updates_received", node=self.owner)
+        self._ctr_applied = telemetry.counter("kv_updates_applied", node=self.owner)
+        self._gauge_pending = telemetry.gauge("kv_pending_updates", node=self.owner)
 
     # -- declaration-time ---------------------------------------------------
 
@@ -173,23 +188,30 @@ class KVTable:
         via local priority, discard — a newer remote update."""
         return self._recv_seq.get(key, 0)
 
+    def _note_pending(self) -> None:
+        if self._gauge_pending is not None:
+            self._gauge_pending.set(len(self.pending))
+
     def receive(self, update: Update) -> None:
         """Handle an arriving remote update."""
         self._recv_seq[update.key] = self._recv_seq.get(update.key, 0) + 1
+        if self._ctr_received is not None:
+            self._ctr_received.inc()
         if self.executing:
             admitted = any(w.active and update.key in w.admits for w in self.windows)
             if admitted:
-                if update.key in self.values:
-                    self.values[update.key] = update.value
-                else:
-                    self.values[update.key] = update.value
+                self.values[update.key] = update.value
+                if self._ctr_applied is not None:
+                    self._ctr_applied.inc()
                 for w in list(self.windows):
                     if w.active and update.key in w.admits:
                         w.on_update(update.key)
                 return
             self.pending.append(update)
+            self._note_pending()
         else:
             self.pending.append(update)
+            self._note_pending()
             if self.on_idle_update is not None:
                 self.on_idle_update()
 
@@ -200,6 +222,9 @@ class KVTable:
         for u in self.pending:
             self.values[u.key] = u.value
         self.pending.clear()
+        if n and self._ctr_applied is not None:
+            self._ctr_applied.inc(n)
+        self._note_pending()
         return n
 
     def apply_pending_for(self, keys: Iterable[str]) -> int:
@@ -219,6 +244,9 @@ class KVTable:
             else:
                 remaining.append(u)
         self.pending = remaining
+        if applied and self._ctr_applied is not None:
+            self._ctr_applied.inc(applied)
+        self._note_pending()
         return applied
 
     def keep(self, keys: Iterable[str]) -> None:

@@ -9,6 +9,17 @@ in insertion order.
 This replaces the paper's libcompart + real OS IPC: experiments become
 reproducible and laptop-scale while preserving the asynchronous
 message-passing semantics the DSL is defined against.
+
+Cancellation is *lazy*: :meth:`EventHandle.cancel` only marks the heap
+entry, which is discarded when it surfaces.  A workload that arms and
+cancels many timers (the reliable-delivery layer cancels a
+retransmission timer per acknowledged send) would otherwise grow the
+heap with dead entries faster than they drain — far-future timeouts sit
+near the bottom of the heap for their whole nominal duration.  The
+simulator therefore counts live cancelled entries and *compacts* the
+heap (filters + re-heapifies, O(n)) once they outnumber the real ones,
+bounding memory at ~2x the live event count while keeping ``cancel``
+O(1).
 """
 
 from __future__ import annotations
@@ -18,6 +29,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+#: below this queue size compaction is pointless (the dead entries are
+#: about to surface anyway); keeps tiny simulations on the fast path
+_COMPACT_MIN = 64
+
 
 @dataclass(order=True)
 class _Event:
@@ -26,18 +41,26 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    in_heap: bool = field(compare=False, default=True)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.call_at` for cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        ev = self._event
+        if not ev.cancelled:
+            ev.cancelled = True
+            # an already-executed event (cancel raced the firing) is no
+            # longer in the heap and must not skew the dead-entry count
+            if ev.in_heap:
+                self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -60,6 +83,8 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        #: cancelled events still sitting in the heap
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -72,7 +97,7 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         ev = _Event(time, priority, next(self._seq), callback)
         heapq.heappush(self._queue, ev)
-        return EventHandle(ev)
+        return EventHandle(ev, self)
 
     def call_after(self, delay: float, callback: Callable[[], None], priority: int = 0) -> EventHandle:
         """Schedule ``callback`` after ``delay`` simulated time units."""
@@ -80,17 +105,39 @@ class Simulator:
             raise ValueError("negative delay")
         return self.call_at(self._now + delay, callback, priority)
 
+    # -- lazy-cancellation bookkeeping --------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue) and len(self._queue) > _COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify — O(live events)."""
+        live = []
+        for e in self._queue:
+            if e.cancelled:
+                e.in_heap = False
+            else:
+                live.append(e)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or None."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue).in_heap = False
+            self._cancelled -= 1
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
         while self._queue:
             ev = heapq.heappop(self._queue)
+            ev.in_heap = False
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = ev.time
             ev.callback()
@@ -115,5 +162,10 @@ class Simulator:
                 raise RuntimeError(f"simulation exceeded {max_events} events (livelock?)")
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled queued events (O(1))."""
+        return len(self._queue) - self._cancelled
+
+    def queue_size(self) -> int:
+        """Raw heap size including not-yet-reclaimed cancelled entries
+        (observability for the compaction behaviour)."""
+        return len(self._queue)

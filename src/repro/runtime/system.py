@@ -28,6 +28,7 @@ Req`` …).
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, Mapping
 
 from ..core import ast as A
@@ -47,6 +48,8 @@ from ..core.expand import (
 from ..core.formula import TRUE, UNKNOWN, evaluate
 from ..core.validate import validate_closed_junction
 from ..serde.framing import Serializer
+from ..telemetry import Telemetry
+from ..telemetry.facade import note_system
 from .channels import Message, Network
 from .delivery import DeliveryPolicy, ReliableDelivery
 from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime
@@ -69,13 +72,29 @@ class System:
         serializer: Serializer | None = None,
         sim: Simulator | None = None,
         delivery_policy: DeliveryPolicy | None = None,
+        telemetry: Telemetry | bool | None = None,
     ):
         self.program = program
         self.sim = sim or Simulator()
         self.rng = random.Random(seed)
+        # the telemetry facade owns the metrics registry shared by the
+        # transport, delivery layer, KV tables and interpreter;
+        # ``telemetry=False`` disables event emission (metrics stay on,
+        # they are plain integer counters) for clean timing runs
+        if isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+            self.telemetry.clock = self.sim
+        else:
+            self.telemetry = Telemetry(self.sim, enabled=telemetry is not False)
+        note_system(self.telemetry)
         self.network = Network(
-            self.sim, default_latency=latency, intra_latency=intra_latency, rng=self.rng
+            self.sim,
+            default_latency=latency,
+            intra_latency=intra_latency,
+            rng=self.rng,
+            metrics=self.telemetry.metrics,
         )
+        self.network.telemetry = self.telemetry
         self.delivery = ReliableDelivery(self, delivery_policy, seed=seed)
         self.max_retries = max_retries
         self.serializer = serializer or Serializer()
@@ -89,9 +108,10 @@ class System:
             self.instances[iname] = InstanceRuntime(iname, self.types[tname])
 
         self._executions: dict[str, JunctionExecution] = {}
-        self._trace: list[dict] = []
-        self._trace_hooks: list[Callable[[dict], None]] = []
         self._started_main = False
+        #: transient causal context: the event that triggered the KV
+        #: receive currently being processed (see ``_make_deliver``)
+        self._attempt_cause: int | None = None
         self.failures: list[tuple[float, str, BaseException]] = []
 
     # ------------------------------------------------------------------
@@ -189,6 +209,7 @@ class System:
         jr.guard = TRUE
         jr.params = {p: _to_runtime_value(env[p]) for p in main.params}
         jr.init_state()
+        jr.table.attach_telemetry(self.telemetry)
         self.network.register(jr.node, self._make_deliver(jr))
         execution = JunctionExecution(self, jr)
         self._executions[jr.node] = execution
@@ -228,6 +249,14 @@ class System:
             return caller.params[ref.name]
         return name
 
+    def _execution_event(self, caller: JunctionRuntime | None) -> int | None:
+        """The ``sched`` event of the caller's running execution — the
+        causal parent of lifecycle actions taken from DSL code."""
+        if caller is None:
+            return None
+        ex = self._executions.get(caller.node)
+        return ex.sched_event if ex is not None else None
+
     def exec_start(self, node: A.Start, caller: JunctionRuntime | None) -> None:
         """Execute a ``start`` statement."""
         name = self._resolve_instance_name(node.instance, caller)
@@ -242,7 +271,7 @@ class System:
                     f"start {name}: anonymous arguments but {len(junctions)} junctions"
                 )
             arg_groups = {junctions[0].name: arg_groups[None]}
-        self._start_instance(inst, arg_groups)
+        self._start_instance(inst, arg_groups, parent=self._execution_event(caller))
 
     def start_instance(self, name: str, /, **junction_args) -> None:
         """Host-level instance start.  ``junction_args`` maps junction
@@ -260,7 +289,12 @@ class System:
             groups[jname] = ordered
         self._start_instance(inst, groups)
 
-    def _start_instance(self, inst: InstanceRuntime, arg_groups: Mapping[str, tuple]) -> None:
+    def _start_instance(
+        self,
+        inst: InstanceRuntime,
+        arg_groups: Mapping[str, tuple],
+        parent: int | None = None,
+    ) -> None:
         inst.running = True
         inst.crashed = False
         inst.start_count += 1
@@ -292,19 +326,24 @@ class System:
             jr.ast_params = dict(zip(cj.params, args))
             jr.params = {p: _to_runtime_value(v) for p, v in jr.ast_params.items()}
             jr.init_state()
+            jr.table.attach_telemetry(self.telemetry)
             jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
             self.network.register(jr.node, self._make_deliver(jr))
 
-        self.trace("start_instance", inst.name)
+        self.telemetry.counter("instance_starts", instance=inst.name).inc()
+        ev = self.telemetry.emit("start_instance", inst.name, parent=parent)
         # junctions of a started instance start concurrently, in
         # arbitrary order — model with an immediate attempt for each
         for jr in inst.junctions.values():
-            self._attempt_soon(jr)
+            self._attempt_soon(jr, cause=ev)
 
     def exec_stop(self, node: A.Stop, caller: JunctionRuntime | None) -> None:
-        self.stop_instance(self._resolve_instance_name(node.instance, caller))
+        self.stop_instance(
+            self._resolve_instance_name(node.instance, caller),
+            _parent=self._execution_event(caller),
+        )
 
-    def stop_instance(self, name: str) -> None:
+    def stop_instance(self, name: str, *, _parent: int | None = None) -> None:
         inst = self.instance(name)
         if not inst.running:
             raise StartStopFailure(f"stop {name}: instance not running")
@@ -314,7 +353,8 @@ class System:
                 ex.cancel()
             self.network.unregister(jr.node)
         inst.running = False
-        self.trace("stop_instance", name)
+        self.telemetry.counter("instance_stops", instance=name).inc()
+        self.telemetry.emit("stop_instance", name, parent=_parent)
 
     # -- fault injection -----------------------------------------------------
 
@@ -327,7 +367,8 @@ class System:
             ex = self._executions.pop(jr.node, None)
             if ex is not None and not ex.finished:
                 ex.cancel()
-        self.trace("crash_instance", name)
+        self.telemetry.counter("instance_crashes", instance=name).inc()
+        self.telemetry.emit("crash_instance", name)
 
     def restart_instance(self, name: str, /, reinit: bool = True) -> None:
         """Bring a crashed instance back (fresh junction state)."""
@@ -339,10 +380,12 @@ class System:
         if reinit:
             for jr in inst.junctions.values():
                 jr.init_state()
+                jr.table.attach_telemetry(self.telemetry)
                 jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
-        self.trace("restart_instance", name)
+        self.telemetry.counter("instance_restarts", instance=name).inc()
+        ev = self.telemetry.emit("restart_instance", name)
         for jr in inst.junctions.values():
-            self._attempt_soon(jr)
+            self._attempt_soon(jr, cause=ev)
 
     # ------------------------------------------------------------------
     # Junction scheduling
@@ -355,18 +398,24 @@ class System:
             return inst.sole_junction()
         return inst.junction(jname)
 
-    def _attempt_soon(self, jr: JunctionRuntime) -> None:
-        self.sim.call_after(0.0, lambda: self.attempt_schedule(jr))
+    def _attempt_soon(self, jr: JunctionRuntime, cause: int | None = None) -> None:
+        """Schedule an attempt; ``cause`` (or, when absent, the event
+        currently being applied — see ``_make_deliver``) becomes the
+        causal parent of the resulting ``attempt`` event."""
+        if cause is None:
+            cause = self._attempt_cause
+        self.sim.call_after(0.0, lambda: self.attempt_schedule(jr, cause=cause))
 
-    def attempt_schedule(self, jr: JunctionRuntime) -> bool:
+    def attempt_schedule(self, jr: JunctionRuntime, cause: int | None = None) -> bool:
         """Apply pending updates, check the guard, and run if it holds."""
         inst = jr.instance
         if not inst.alive or jr.status != "idle" or jr.body is None:
             return False
+        attempt_ev = self.telemetry.emit("attempt", jr.node, parent=cause)
         jr.table.apply_pending()
         if not self._guard_holds(jr):
             return False
-        execution = JunctionExecution(self, jr)
+        execution = JunctionExecution(self, jr, parent_event=attempt_ev)
         self._executions[jr.node] = execution
         execution.start()
         return True
@@ -394,19 +443,42 @@ class System:
 
     def _make_deliver(self, jr: JunctionRuntime):
         def deliver(msg: Message) -> None:
+            tel = self.telemetry
             if msg.kind == "update":
                 if not jr.instance.alive:
                     return  # no ack: sender retransmits / times out
+                send_ev = tel.message_event(msg.msg_id)
                 # retransmitted updates (lost ack) apply exactly once,
                 # but every copy is (re-)acknowledged
                 if msg.msg_id and not jr.table.note_msg_id(msg.msg_id):
                     self.network.count("dedup_suppressed", msg.kind)
+                    tel.emit("dedup", jr.node, parent=send_ev, msg_id=msg.msg_id)
                 else:
-                    jr.table.receive(msg.payload)
+                    apply_ev = tel.emit(
+                        "apply",
+                        jr.node,
+                        parent=send_ev,
+                        key=msg.payload.key,
+                        src=msg.src,
+                        msg_id=msg.msg_id,
+                    )
+                    # the receive below may trigger an idle-update
+                    # attempt; parent that attempt to the apply event
+                    self._attempt_cause = apply_ev
+                    try:
+                        jr.table.receive(msg.payload)
+                    finally:
+                        self._attempt_cause = None
                 self.network.send(
                     Message(src=jr.node, dst=msg.src, kind="ack", payload=msg.msg_id, msg_id=msg.msg_id)
                 )
             elif msg.kind == "ack":
+                tel.emit(
+                    "ack",
+                    jr.node,
+                    parent=tel.message_event(msg.payload),
+                    msg_id=msg.payload,
+                )
                 self.delivery.ack(msg.payload)
                 ex = self._executions.get(jr.node)
                 if ex is not None:
@@ -489,49 +561,79 @@ class System:
         application asserting ``Req`` on a client request) and attempt a
         scheduling."""
         jr = self.junction(node)
-        jr.table.receive(Update(key=key, value=value, src="__external__"))
+        ev = self.telemetry.emit("external_update", jr.node, key=key)
+        self._attempt_cause = ev
+        try:
+            jr.table.receive(Update(key=key, value=value, src="__external__"))
+        finally:
+            self._attempt_cause = None
         if poke:
-            self._attempt_soon(jr)
+            self._attempt_soon(jr, cause=ev)
 
     def external_data(self, node: str, key: str, obj: object, schema: str | None = None) -> None:
         """Install externally-supplied named data (serialized)."""
         jr = self.junction(node)
         payload = self.serializer.encode(schema, obj)
-        jr.table.receive(Update(key=key, value=payload, src="__external__"))
+        ev = self.telemetry.emit("external_data", jr.node, key=key)
+        self._attempt_cause = ev
+        try:
+            jr.table.receive(Update(key=key, value=payload, src="__external__"))
+        finally:
+            self._attempt_cause = None
 
     def poke(self, node: str) -> None:
         """Attempt to schedule a junction."""
         jr = self.junction(node)
-        self._attempt_soon(jr)
+        self._attempt_soon(jr, cause=self.telemetry.emit("poke", jr.node))
 
     def read_state(self, node: str, key: str):
         """Read junction state from outside (tests/metrics)."""
         return self.junction(node).table.values.get(key, UNDEF)
 
     # ------------------------------------------------------------------
-    # Tracing
+    # Tracing — deprecated shims over ``System.telemetry``
+    #
+    # The ad-hoc pre-telemetry API (an unbounded ``_trace`` list of
+    # dicts, synchronous hooks, a one-off net-stats dump) is collapsed
+    # into the :class:`~repro.telemetry.Telemetry` facade.  These shims
+    # delegate and warn; see docs/OBSERVABILITY.md for the migration
+    # table.
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"System.{old} is deprecated; use System.telemetry.{new} "
+            "(see docs/OBSERVABILITY.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def trace(self, kind: str, node: str, **info) -> None:
-        rec = {"time": self.sim.now, "kind": kind, "node": node, **info}
-        self._trace.append(rec)
-        for hook in self._trace_hooks:
-            hook(rec)
+        self._deprecated("trace(...)", "emit(kind, node, **attrs)")
+        self.telemetry.emit(kind, node, **info)
 
     def on_trace(self, hook: Callable[[dict], None]) -> None:
-        self._trace_hooks.append(hook)
+        self._deprecated("on_trace(hook)", "on_emit(hook)")
+        self.telemetry.on_emit(hook)
 
     def trace_net_stats(self, label: str = "") -> dict:
-        """Snapshot the network's reliability counters into the trace
-        (kind ``net_stats``) and return them — benchmarks use this to
-        report retransmission/dedup overhead alongside their figures."""
+        """Deprecated: snapshot the transport counters into the trace
+        (kind ``net_stats``) and return them.  Use
+        ``system.telemetry.metrics`` (labeled ``net_*`` counters) or
+        ``system.network.stats`` for the flat view."""
+        self._deprecated("trace_net_stats(label)", "metrics (net_* counters)")
         stats = dict(self.network.stats)
-        self.trace("net_stats", "__network__", label=label, **stats)
+        self.telemetry.emit("net_stats", "__network__", label=label, **stats)
         return stats
 
     @property
     def trace_log(self) -> list[dict]:
-        return self._trace
+        """Deprecated: the retained events as pre-telemetry dicts.  Use
+        ``system.telemetry.events`` (structured events with causal
+        links) or ``system.telemetry.export("jsonl")``."""
+        self._deprecated("trace_log", "events / export()")
+        return [e.legacy() for e in self.telemetry.events]
 
 
 def _to_runtime_value(v: object) -> object:

@@ -1,0 +1,47 @@
+"""First-class observability for the C-Saw runtime.
+
+The paper's evaluation (Figs. 23–26, Table 3) is built on per-operation
+latency and reconfiguration-overhead measurements; this package gives
+the reproduction a real telemetry layer to measure them with:
+
+* :mod:`repro.telemetry.events` — structured trace events with causal
+  parent links (a runtime trace is a concrete event structure matching
+  :mod:`repro.semantics.events`);
+* :mod:`repro.telemetry.metrics` — a registry of labeled counters,
+  gauges and fixed-bucket simulated-time histograms;
+* :mod:`repro.telemetry.sinks` — bounded ring-buffer retention and the
+  JSONL / Chrome-trace exporters;
+* :mod:`repro.telemetry.facade` — the :class:`Telemetry` facade every
+  :class:`~repro.runtime.system.System` owns as ``system.telemetry``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema, causal-link
+semantics and the migration table from the deprecated
+``System.trace``-era API.
+"""
+
+from .events import TraceEvent
+from .facade import Telemetry, capture_systems, note_system
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .sinks import RingBufferSink, chrome_json, to_chrome, to_jsonl
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "Telemetry",
+    "TraceEvent",
+    "capture_systems",
+    "chrome_json",
+    "note_system",
+    "to_chrome",
+    "to_jsonl",
+]

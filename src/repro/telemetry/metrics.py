@@ -1,0 +1,198 @@
+"""Metrics registry: labeled counters, gauges and fixed-bucket histograms.
+
+Replaces the scattered ``Network.stats`` ad-hoc counter dict with one
+registry shared by the whole :class:`~repro.runtime.system.System`:
+the transport, the delivery layer, the KV tables and the interpreter
+all register metrics here, labeled per instance / per link / per
+message kind, and benchmarks read their latency distributions back out
+instead of re-deriving them from raw completion logs.
+
+Design notes
+------------
+
+* Metric handles are plain mutable objects; the hot path is
+  ``handle.inc()`` / ``handle.observe(v)`` — one attribute update.
+  Call sites cache handles (see ``Network._counter``) so label
+  resolution happens once per label combination, not per event.
+* Histograms use *fixed* bucket upper bounds over simulated seconds
+  (default: a 1–2–5 log ladder from 1µs to 100s).  Sums are exact, so
+  ``mean`` is exact; percentiles interpolate within a bucket.
+* Everything is deterministic: iteration orders are insertion orders,
+  snapshots sort keys.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+#: Default histogram upper bounds (simulated seconds): 1-2-5 ladder,
+#: 1µs .. 100s, plus the implicit +inf overflow bucket.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 3) for m in (1.0, 2.0, 5.0)
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, open breakers)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, v) -> None:
+        self.value = v
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def dec(self, n=1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """A fixed-bucket histogram over simulated-time durations.
+
+    ``bounds`` are the inclusive upper bounds of each bucket; an extra
+    overflow bucket catches observations above the last bound.  The
+    exact ``sum``/``count`` make :meth:`mean` exact; :meth:`percentile`
+    interpolates linearly within the winning bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-quantile (linear within the bucket)."""
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if cum + c >= rank and c > 0:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                frac = (rank - cum) / c
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cum += c
+        return self.bounds[-1]
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, count) for the populated buckets (inf for the
+        overflow bucket) — the shape printed by benchmark reports."""
+        out = []
+        for i, c in enumerate(self.counts):
+            if c:
+                ub = self.bounds[i] if i < len(self.bounds) else float("inf")
+                out.append((ub, c))
+        return out
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Registry of named, labeled metrics.
+
+    ``counter("net_sent", kind="update", src="f", dst="g")`` returns
+    the one Counter for that name + label combination, creating it on
+    first use.  A name is bound to one metric type; mixing types under
+    one name is an error.
+    """
+
+    def __init__(self):
+        # name -> (type, {label_key: metric})
+        self._metrics: dict[str, tuple[type, dict[tuple, object]]] = {}
+
+    def _get(self, cls: type, name: str, labels: dict, *args):
+        try:
+            kind, family = self._metrics[name]
+        except KeyError:
+            kind, family = self._metrics.setdefault(name, (cls, {}))
+        if kind is not cls:
+            raise TypeError(f"metric {name!r} is a {kind.__name__}, not a {cls.__name__}")
+        key = _label_key(labels)
+        m = family.get(key)
+        if m is None:
+            m = family[key] = cls(*args)
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS, **labels
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets)
+
+    # -- reading ------------------------------------------------------------
+
+    def collect(self, prefix: str = "") -> Iterator[tuple[str, dict, object]]:
+        """Yield ``(name, labels, metric)`` for every registered metric
+        (optionally restricted to names starting with ``prefix``)."""
+        for name, (_kind, family) in self._metrics.items():
+            if not name.startswith(prefix):
+                continue
+            for key, metric in family.items():
+                yield name, dict(key), metric
+
+    def sum(self, name: str, **match) -> float:
+        """Sum of ``value`` over all metrics named ``name`` whose
+        labels include every ``match`` pair (counters/gauges)."""
+        entry = self._metrics.get(name)
+        if entry is None:
+            return 0
+        total = 0
+        items = match.items()
+        for key, metric in entry[1].items():
+            d = dict(key)
+            if all(d.get(k) == v for k, v in items):
+                total += metric.value
+        return total
+
+    def snapshot(self) -> dict:
+        """Deterministic nested dict of every scalar metric value —
+        ``{name: {"k=v,k=v": value}}`` — for dumps and equality probes."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            kind, family = self._metrics[name]
+            view: dict[str, object] = {}
+            for key in sorted(family):
+                label_str = ",".join(f"{k}={v}" for k, v in key)
+                m = family[key]
+                if kind is Histogram:
+                    view[label_str] = {"count": m.count, "sum": m.sum}
+                else:
+                    view[label_str] = m.value
+            out[name] = view
+        return out

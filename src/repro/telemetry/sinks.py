@@ -1,0 +1,123 @@
+"""Bounded event sinks and trace exporters.
+
+The runtime emits into a :class:`RingBufferSink` — a bounded deque, so
+an unbounded soak cannot grow memory without limit (the pre-telemetry
+``System._trace`` list grew forever).  Exporters turn the retained
+events into:
+
+* **JSONL** — one sorted-keys JSON object per line; deterministic
+  under a fixed seed, byte-identical across runs (the chaos-soak
+  determinism test asserts exactly this).
+* **Chrome trace-event format** — a ``{"traceEvents": [...]}`` JSON
+  document loadable in ``chrome://tracing`` / Perfetto.  Junction
+  executions (``sched``/``unsched``) become duration slices on a
+  per-junction track; spans become complete ``X`` slices; everything
+  else becomes an instant event.  Causal parents are preserved in
+  ``args.parent``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable, Iterator
+
+from .events import TraceEvent
+
+
+class RingBufferSink:
+    """Bounded in-memory event sink (drops the oldest on overflow)."""
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self._buf: deque[TraceEvent] = deque(maxlen=capacity)
+        self.total = 0  # events ever appended (dropped = total - len)
+
+    def append(self, event: TraceEvent) -> None:
+        self._buf.append(event)
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buf)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(events: Iterable[TraceEvent], *, system: str | None = None) -> str:
+    """One JSON object per event, keys sorted, non-JSON values via
+    ``str`` — deterministic for seeded runs.  ``system`` labels every
+    line when several systems are merged into one export."""
+    lines = []
+    for e in events:
+        rec = e.record()
+        if system is not None:
+            rec["system"] = system
+        lines.append(json.dumps(rec, sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+#: kinds rendered as duration begin/end pairs on the junction's track
+_BEGIN, _END = "sched", "unsched"
+
+
+def to_chrome(groups: Iterable[tuple[str, Iterable[TraceEvent]]]) -> dict:
+    """Build a Chrome trace-event document from ``(label, events)``
+    groups — one traced process per system."""
+    trace: list[dict] = []
+    for pid, (label, events) in enumerate(groups):
+        trace.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+        )
+        tids: dict[str, int] = {}
+        for e in events:
+            tid = tids.get(e.node)
+            if tid is None:
+                tid = tids[e.node] = len(tids) + 1
+                trace.append(
+                    {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                     "args": {"name": e.node}}
+                )
+            args = {"seq": e.seq}
+            if e.parent is not None:
+                args["parent"] = e.parent
+            for k, v in e.attrs.items():
+                args[k] = v if isinstance(v, (int, float, str, bool, type(None))) else str(v)
+            ts = e.time * 1e6  # Chrome wants microseconds
+            if e.kind == _BEGIN:
+                trace.append({"name": "execution", "ph": "B", "ts": ts,
+                              "pid": pid, "tid": tid, "args": args})
+            elif e.kind == _END:
+                trace.append({"name": "execution", "ph": "E", "ts": ts,
+                              "pid": pid, "tid": tid, "args": args})
+            elif "dur" in e.attrs:
+                args = dict(args)
+                dur = args.pop("dur")
+                trace.append({"name": e.kind, "ph": "X", "ts": ts,
+                              "dur": float(dur) * 1e6, "pid": pid, "tid": tid,
+                              "args": args})
+            else:
+                trace.append({"name": e.kind, "ph": "i", "ts": ts, "s": "t",
+                              "pid": pid, "tid": tid, "args": args})
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def chrome_json(groups: Iterable[tuple[str, Iterable[TraceEvent]]]) -> str:
+    return json.dumps(to_chrome(groups), sort_keys=True)

@@ -9,7 +9,7 @@ from repro.arch.sharding import (
     key_hash_chooser,
     object_size_chooser,
 )
-from repro.redislite import BenchDriver, Command, Reply, WorkloadGenerator, djb2
+from repro.redislite import BenchDriver, Command, WorkloadGenerator, djb2
 
 
 class TestLoader:

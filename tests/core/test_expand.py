@@ -15,7 +15,7 @@ from repro.core.expand import (
     unroll_expr,
     unroll_formula,
 )
-from repro.core.formula import And, FalseF, Not, Or, Prop, TRUE
+from repro.core.formula import And, FalseF, Prop, TRUE
 from repro.core.parser import parse_expression, parse_formula
 
 

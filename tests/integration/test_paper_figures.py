@@ -10,7 +10,6 @@ from repro.arch.snapshot import RemoteAuditor
 from repro.curlite import FileServer, run_sweep
 from repro.redislite import (
     BenchDriver,
-    Command,
     DirectPort,
     RedisServer,
     WorkloadGenerator,

@@ -10,6 +10,7 @@ from repro.runtime.channels import Message, Network
 from repro.runtime.delivery import DeliveryPolicy, ReliableDelivery
 from repro.runtime.kvtable import Update
 from repro.runtime.sim import Simulator
+from repro.telemetry import Telemetry
 
 from .helpers import failures_of, pair
 
@@ -20,17 +21,19 @@ from .helpers import failures_of, pair
 
 
 class _Host:
-    """Minimal stand-in for System: just sim + network + trace."""
+    """Minimal stand-in for System: just sim + network + telemetry."""
 
     def __init__(self, *, drop=0.0, seed=0, latency=0.05):
         self.sim = Simulator()
+        self.telemetry = Telemetry(self.sim)
         self.network = Network(
-            self.sim, default_latency=latency, drop_probability=drop, rng=random.Random(seed)
+            self.sim,
+            default_latency=latency,
+            drop_probability=drop,
+            rng=random.Random(seed),
+            metrics=self.telemetry.metrics,
         )
-        self.trace_log = []
-
-    def trace(self, kind, node, **info):
-        self.trace_log.append({"time": self.sim.now, "kind": kind, "node": node, **info})
+        self.network.telemetry = self.telemetry
 
 
 def _wire_ack(host, delivery, dst="b::j", src="a::j"):
@@ -79,7 +82,7 @@ class TestRetransmission:
         failures = []
         rd.send(_update(host.network), on_fail=failures.append)  # nothing registered: blackhole
         host.sim.run()
-        times = [r["time"] for r in host.trace_log if r["kind"] == "retransmit"]
+        times = [e.time for e in host.telemetry.events if e.kind == "retransmit"]
         # retransmits at 0.4+... no wait: timeout0 = max(4*0.1s rtt... latency 0.05 -> rtt 0.1
         # timeout0 = max(4*0.1, 0.1) = 0.4; then 0.8, 1.6
         assert times == pytest.approx([0.4, 1.2, 2.8])

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.errors import (
     RetryExhausted,
-    TimeoutFailure,
     UndefError,
     VerifyFailure,
     VerifyUnknown,

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime.kvtable import KVTable, UNDEF, Update
+from repro.runtime.kvtable import KVTable, Update
 from repro.runtime.sim import Simulator
 
 KEYS = ["A", "B", "C"]

@@ -125,3 +125,51 @@ class TestRunUntil:
         sim.run()
         assert log == [0, 1, 2, 3]
         assert sim.now == 3.0
+
+
+class TestLazyCancellationCompaction:
+    def test_heap_is_compacted_under_cancel_churn(self):
+        sim = Simulator()
+        for i in range(10_000):
+            sim.call_at(1000.0 + i, lambda: None).cancel()
+        # without compaction the heap would hold all 10k dead entries
+        assert sim.queue_size() < 100
+        assert sim.pending_events() == 0
+
+    def test_pending_events_is_live_count(self):
+        sim = Simulator()
+        handles = [sim.call_at(1.0 + i, lambda: None) for i in range(10)]
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending_events() == 6
+        assert sim.queue_size() == 10  # below the compaction floor
+
+    def test_compaction_preserves_order_and_survivors(self):
+        sim = Simulator()
+        log = []
+        keep = [sim.call_at(float(i), lambda i=i: log.append(i)) for i in range(1, 6)]
+        # enough cancelled entries to force a compaction pass
+        for i in range(200):
+            sim.call_at(10_000.0 + i, lambda: None).cancel()
+        assert sim.queue_size() < 200
+        sim.run()
+        assert log == [1, 2, 3, 4, 5]
+        assert all(not h.cancelled for h in keep)
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        h = sim.call_at(1.0, lambda: None)
+        sim.run()
+        h.cancel()  # raced: the event already executed
+        assert sim.pending_events() == 0
+        # the stale cancel must not skew the dead-entry accounting
+        sim.call_at(2.0, lambda: None)
+        assert sim.pending_events() == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        h = sim.call_at(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert sim.pending_events() == 0
+        assert sim.queue_size() == 1

@@ -7,7 +7,7 @@ from repro.core.errors import CompileError, StartStopFailure
 from repro.runtime.faults import FaultPlan
 from repro.runtime.kvtable import UNDEF
 
-from .helpers import failures_of, make_system, pair, single_junction
+from .helpers import failures_of, make_system, single_junction
 
 FIG3 = """
 instance_types {{ TF, TG }}

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.parser import parse_expression, parse_formula
 from repro.semantics.denote import Denoter
-from repro.semantics.events import AdHoc, Rd, Sched, Synch, Unsched, WaitL, Wr
+from repro.semantics.events import AdHoc, Rd, Synch, WaitL, Wr
 from repro.semantics.render import immediate_causality, minimal_conflicts
 
 

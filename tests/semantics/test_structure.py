@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.semantics.events import AdHoc, Rd, Wr, fresh_event, isolate_event, TT
+from repro.semantics.events import AdHoc, Wr, fresh_event, isolate_event, TT
 from repro.semantics.structure import EventStructure as ES
 
 

@@ -5,11 +5,9 @@ import pytest
 from repro.redislite import (
     BenchDriver,
     Command,
-    CostModel,
     DataStore,
     DirectPort,
     RedisServer,
-    WorkloadConfig,
     WorkloadGenerator,
     WrongTypeError,
     djb2,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.suricatalite import (
-    DetectNode,
     FiveTuple,
     FlowTable,
     HookNode,
