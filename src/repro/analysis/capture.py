@@ -1,0 +1,40 @@
+"""Capture the programs example scripts construct.
+
+``repro analyze some_example.py`` must analyze whatever architecture
+the script builds — mirroring how ``repro trace`` captures telemetry
+(:func:`repro.telemetry.facade.capture_systems`), ``System.__init__``
+calls :func:`note_program` so every compiled program that reaches a
+:class:`~repro.runtime.system.System` inside a
+:func:`capture_programs` scope is collected.
+
+This module must stay import-light: the runtime imports it at load
+time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_capture_stack: list[list] = []
+
+
+def note_program(program) -> None:
+    """Called by ``System.__init__`` (no-op outside a capture scope).
+    Deduplicates: one entry per distinct program object."""
+    if not _capture_stack:
+        return
+    captured = _capture_stack[-1]
+    if not any(p is program for p in captured):
+        captured.append(program)
+
+
+@contextmanager
+def capture_programs():
+    """Collect the :class:`~repro.core.compiler.CompiledProgram` of
+    every ``System`` constructed inside the ``with`` block."""
+    captured: list = []
+    _capture_stack.append(captured)
+    try:
+        yield captured
+    finally:
+        _capture_stack.pop()

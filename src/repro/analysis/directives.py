@@ -1,0 +1,85 @@
+"""Analyzer directives embedded in ``.csaw`` comments.
+
+Architectures document their external interface and accepted hazards in
+the source itself::
+
+    # analyze: external Req MigrateReq
+    # analyze: allow-race m preresp
+    # analyze: allow-dead Fnt::spare
+    # analyze: allow-unused state
+
+``external`` names propositions asserted/retracted by the embedding
+application (``System.external_update``) — without it the key-flow
+lattice is closed-world and a guard waiting on an un-written
+proposition reads as dead.  ``allow-*`` directives suppress findings:
+the finding stays in the JSON output with ``"suppressed": true`` but
+does not count toward ``--fail-on`` exit codes.
+
+A directive key matches a finding's key exactly or by family: ``Work``
+matches ``Work[Bck1]``.  ``allow-dead`` also matches node names
+(``inst::junction``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(r"#\s*analyze:\s*([a-z-]+)\s+(.+?)\s*$")
+
+KNOWN = ("external", "allow-race", "allow-dead", "allow-contract", "allow-unused")
+
+
+@dataclass
+class Directives:
+    """Parsed ``# analyze:`` directives of one source file."""
+
+    external: frozenset[str] = frozenset()
+    allow: dict[str, frozenset[str]] = field(default_factory=dict)
+    unknown: tuple[str, ...] = ()
+
+    def is_external(self, key: str) -> bool:
+        return _matches(key, self.external)
+
+    def suppression_for(self, check: str, *names: str) -> str | None:
+        """The directive name suppressing a finding of category
+        ``check`` about any of ``names`` (keys or nodes), or None."""
+        allowed = self.allow.get(check, frozenset())
+        for name in names:
+            if name and _matches(name, allowed):
+                return f"allow-{check} {family(name)}"
+        return None
+
+
+def family(key: str) -> str:
+    """``Work[Bck1]`` -> ``Work`` (indexed keys form one family)."""
+    return key.split("[", 1)[0]
+
+
+def _matches(key: str, names: frozenset[str]) -> bool:
+    return key in names or family(key) in names
+
+
+def parse_directives(text: str | None) -> Directives:
+    """Scan raw source text for ``# analyze:`` comment directives."""
+    if not text:
+        return Directives()
+    external: set[str] = set()
+    allow: dict[str, set[str]] = {}
+    unknown: list[str] = []
+    for line in text.splitlines():
+        m = _DIRECTIVE.search(line)
+        if not m:
+            continue
+        word, args = m.group(1), m.group(2).split()
+        if word == "external":
+            external.update(args)
+        elif word.startswith("allow-") and word in KNOWN:
+            allow.setdefault(word[len("allow-"):], set()).update(args)
+        else:
+            unknown.append(word)
+    return Directives(
+        external=frozenset(external),
+        allow={k: frozenset(v) for k, v in allow.items()},
+        unknown=tuple(unknown),
+    )

@@ -1,0 +1,130 @@
+"""Findings and reports produced by the analyzer.
+
+A :class:`Finding` is one diagnosed issue; a :class:`AnalysisReport`
+aggregates them with the JSON serialization documented in
+``docs/ANALYSIS.md`` (schema version 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: top-level check categories (the vocabulary of ``--fail-on``)
+CHECKS = ("race", "dead", "contract", "unused")
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass
+class Finding:
+    """One diagnosed issue.
+
+    ``check`` is the coarse category (``race``/``dead``/``contract``/
+    ``unused``); ``kind`` the precise pattern (``write-write-race``,
+    ``dead-case-arm``, …).  ``sites`` are human-readable statement
+    locations (``node: statement``), ``witness`` an ordered event list
+    demonstrating the issue (races only).
+    """
+
+    check: str
+    kind: str
+    severity: str
+    node: str
+    key: str
+    message: str
+    sites: tuple[str, ...] = ()
+    witness: tuple[str, ...] = ()
+    suppressed: bool = False
+    suppressed_by: str = ""
+
+    def to_json(self) -> dict:
+        out = {
+            "check": self.check,
+            "kind": self.kind,
+            "severity": self.severity,
+            "node": self.node,
+            "key": self.key,
+            "message": self.message,
+            "sites": list(self.sites),
+        }
+        if self.witness:
+            out["witness"] = list(self.witness)
+        if self.suppressed:
+            out["suppressed"] = True
+            out["suppressed_by"] = self.suppressed_by
+        return out
+
+    def sort_key(self):
+        return (
+            SEVERITIES.index(self.severity) if self.severity in SEVERITIES else 99,
+            self.check,
+            self.kind,
+            self.node,
+            self.key,
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one analyzed program."""
+
+    source: str  # file path or label
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def unsuppressed(self, checks: tuple[str, ...] | None = None) -> list[Finding]:
+        out = [f for f in self.findings if not f.suppressed]
+        if checks is not None:
+            out = [f for f in out if f.check in checks]
+        return out
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.check] = out.get(f.check, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "source": self.source,
+            "findings": [f.to_json() for f in self.sorted()],
+            "summary": {
+                "total": len(self.findings),
+                "suppressed": sum(1 for f in self.findings if f.suppressed),
+                "by_check": self.counts(),
+            },
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report (one block per finding)."""
+        lines: list[str] = []
+        shown = self.sorted()
+        if not shown:
+            return f"{self.source}: no findings\n"
+        for f in shown:
+            mark = " [suppressed]" if f.suppressed else ""
+            lines.append(
+                f"{f.severity}: {f.kind} at {f.node} (key {f.key!r}){mark}"
+            )
+            lines.append(f"  {f.message}")
+            for s in f.sites:
+                lines.append(f"    site: {s}")
+            if f.witness:
+                lines.append("    witness:")
+                for w in f.witness:
+                    lines.append(f"      {w}")
+        active = [f for f in shown if not f.suppressed]
+        lines.append(
+            f"{self.source}: {len(active)} finding(s)"
+            + (f", {len(shown) - len(active)} suppressed" if len(shown) != len(active) else "")
+        )
+        return "\n".join(lines) + "\n"

@@ -36,15 +36,21 @@ def dsl_path(name: str) -> Path:
     return p
 
 
+def expand_placeholders(text: str, n_backends: int = 4) -> str:
+    """Instantiate the ``@BACKENDS@`` / ``@BACKSET@`` / ``@STARTS@``
+    placeholders of a back-end-parameterized source."""
+    names = [f"Bck{i}" for i in range(1, n_backends + 1)]
+    text = text.replace("@BACKENDS@", ", ".join(f"{b}: Back" for b in names))
+    text = text.replace("@BACKSET@", "{" + ", ".join(names) + "}")
+    text = text.replace("@STARTS@", " + ".join(f"start {b}(t)" for b in names))
+    return text
+
+
 def load_source(name: str, *, n_backends: int | None = None) -> str:
     """Read (and, for sharding, instantiate) an architecture source."""
     text = dsl_path(name).read_text()
     if "@BACKENDS@" in text:
-        n = n_backends or 4
-        names = [f"Bck{i}" for i in range(1, n + 1)]
-        text = text.replace("@BACKENDS@", ", ".join(f"{b}: Back" for b in names))
-        text = text.replace("@BACKSET@", "{" + ", ".join(names) + "}")
-        text = text.replace("@STARTS@", " + ".join(f"start {b}(t)" for b in names))
+        text = expand_placeholders(text, n_backends or 4)
     elif n_backends is not None:
         raise ValueError(f"architecture {name!r} is not parameterized by back-end count")
     return text

@@ -3,6 +3,15 @@
 Commands:
 
 * ``check``     — parse + validate + compile; report errors with positions.
+                  ``--strict`` folds in the analyzer's fast (key-flow)
+                  checks and fails on unsuppressed errors.
+* ``analyze``   — static analysis: KV write-write races, dead junctions
+                  and case arms, host write-contract violations, unused
+                  keys.  Accepts a ``.csaw`` file, a shipped
+                  architecture name, or an example ``.py`` script
+                  (analyzes every program its Systems load).
+                  ``--fail-on race,dead,contract`` exits 2 when any
+                  unsuppressed *error* finding of those checks remains.
 * ``fmt``       — pretty-print (normalize) an architecture file.
 * ``topo``      — print the communication topology (sec. 8.7's Topo).
 * ``semantics`` — print the event-structure semantics per junction
@@ -60,6 +69,123 @@ def cmd_check(args) -> int:
           f"{len(prog.source.instances)} instance(s), "
           f"{len(prog.junctions)} junction(s), "
           f"{len(prog.source.functions)} function(s)")
+    if not args.strict:
+        return 0
+    from .analysis import fast_checks
+
+    report = fast_checks(
+        prog, _parse_config(args.config), source_text=text, label=args.file
+    )
+    sys.stdout.write(report.render_text())
+    errors = [f for f in report.unsuppressed() if f.severity == "error"]
+    return 2 if errors else 0
+
+
+def _analysis_sources(args) -> list[tuple[str, object, str | None]]:
+    """Resolve the ``analyze`` argument to ``(label, program-or-text,
+    source_text)`` items: a shipped architecture name, a ``.csaw``
+    file (placeholders expanded), or a ``.py`` script whose Systems'
+    programs are captured while it runs."""
+    from .arch.loader import ARCHITECTURES, expand_placeholders, load_source
+
+    name = args.file
+    if name in ARCHITECTURES:
+        text = load_source(name)
+        return [(name, text, text)]
+    path = Path(name)
+    if path.suffix == ".py":
+        import contextlib
+        import runpy
+
+        from .analysis.capture import capture_programs
+
+        argv = sys.argv
+        sys.argv = [str(path)]
+        try:
+            with capture_programs() as captured, contextlib.redirect_stdout(sys.stderr):
+                runpy.run_path(str(path), run_name="__main__")
+        finally:
+            sys.argv = argv
+        if not captured:
+            raise SystemExit(f"error: {name} constructed no System to analyze")
+        labels = (
+            [str(path)]
+            if len(captured) == 1
+            else [f"{path}#{i}" for i in range(len(captured))]
+        )
+        return [(lbl, prog, None) for lbl, prog in zip(labels, captured)]
+    text = path.read_text()
+    if "@BACKENDS@" in text:
+        text = expand_placeholders(text)
+    return [(str(path), text, text)]
+
+
+def cmd_analyze(args) -> int:
+    import json
+
+    from .analysis import analyze_program, analyze_source
+    from .analysis.model import CHECKS
+
+    fail_on: tuple[str, ...] = ()
+    if args.fail_on:
+        fail_on = tuple(c.strip() for c in args.fail_on.split(",") if c.strip())
+        bad = [c for c in fail_on if c not in CHECKS]
+        if bad:
+            raise SystemExit(
+                f"error: --fail-on accepts {','.join(CHECKS)}; got {','.join(bad)}"
+            )
+
+    config = _parse_config(args.config)
+    reports = []
+    for label, source, text in _analysis_sources(args):
+        if isinstance(source, str):
+            reports.append(
+                analyze_source(
+                    source,
+                    config,
+                    label=label,
+                    deep=not args.fast,
+                    max_unfold=args.max_unfold,
+                )
+            )
+        else:  # a captured CompiledProgram from a .py script
+            reports.append(
+                analyze_program(
+                    source,
+                    config,
+                    source_text=text,
+                    label=label,
+                    deep=not args.fast,
+                    max_unfold=args.max_unfold,
+                )
+            )
+
+    if args.json:
+        payload = (
+            reports[0].to_json()
+            if len(reports) == 1
+            else [r.to_json() for r in reports]
+        )
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for r in reports:
+            sys.stdout.write(r.render_text())
+
+    if fail_on:
+        failing = [
+            f
+            for r in reports
+            for f in r.unsuppressed(fail_on)
+            if f.severity == "error"
+        ]
+        if failing:
+            print(
+                f"analyze: {len(failing)} failing finding(s) "
+                f"(--fail-on {','.join(fail_on)})",
+                file=sys.stderr,
+            )
+            return 2
     return 0
 
 
@@ -188,7 +314,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("check", help="parse, validate and compile")
     common(sp)
+    sp.add_argument(
+        "--strict", action="store_true",
+        help="also run the analyzer's fast checks; exit 2 on errors",
+    )
     sp.set_defaults(fn=cmd_check)
+
+    sp = sub.add_parser(
+        "analyze", help="static analysis: races, dead code, host contracts"
+    )
+    sp.add_argument(
+        "file",
+        help="a .csaw file, a shipped architecture name, or an example .py script",
+    )
+    sp.add_argument(
+        "--config", action="append", default=[], metavar="NAME=VALUE",
+        help="load-time configuration (sets, parameters); repeatable",
+    )
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.add_argument(
+        "--fail-on", metavar="CHECKS", default="",
+        help="comma-separated checks (race,dead,contract,unused); exit 2 "
+             "when any unsuppressed error finding of these checks remains",
+    )
+    sp.add_argument(
+        "--fast", action="store_true",
+        help="key-flow checks only (skip event-structure denotation)",
+    )
+    sp.add_argument(
+        "--max-unfold", type=int, default=1,
+        help="reconsider/retry unfolding depth for the deep pass (default: 1)",
+    )
+    sp.set_defaults(fn=cmd_analyze)
 
     sp = sub.add_parser("fmt", help="pretty-print / normalize")
     sp.add_argument("file")

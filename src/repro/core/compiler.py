@@ -42,6 +42,9 @@ class CompiledProgram:
     junctions: tuple[CompiledJunction, ...]
     main: A.MainDef | None
     config: Mapping[str, object] = field(default_factory=dict)
+    #: the DSL text this program was compiled from, when compiled from
+    #: text (the analyzer reads ``# analyze:`` comment directives)
+    source_text: str | None = None
 
     def instance_map(self) -> dict[str, str]:
         return self.source.instance_map()
@@ -100,4 +103,5 @@ def compile_program(
         junctions=tuple(compiled),
         main=main,
         config=dict(config or {}),
+        source_text=source if isinstance(source, str) else None,
     )

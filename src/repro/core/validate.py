@@ -31,15 +31,30 @@ from .errors import ValidationError
 from .formula import At, Formula, Live, Prop
 
 
+def _duplicates(names) -> list[str]:
+    seen: set[str] = set()
+    out: list[str] = []
+    for n in names:
+        if n in seen and n not in out:
+            out.append(n)
+        seen.add(n)
+    return out
+
+
 def validate_program(program: A.Program) -> None:
     """Static validation of a parsed (unexpanded) program."""
     types = set(program.instance_types)
     if len(program.instance_types) != len(types):
-        raise ValidationError("duplicate instance type names")
+        dupes = _duplicates(program.instance_types)
+        raise ValidationError(f"duplicate instance type name(s): {', '.join(dupes)}")
 
     inst_names = [n for n, _ in program.instances]
     if len(inst_names) != len(set(inst_names)):
-        raise ValidationError("duplicate instance names")
+        dupes = _duplicates(inst_names)
+        raise ValidationError(
+            f"duplicate instance name(s): {', '.join(dupes)} — each name in "
+            f"`instances {{...}}` must be unique"
+        )
     for name, tname in program.instances:
         if tname not in types:
             raise ValidationError(f"instance {name!r} has undeclared type {tname!r}")

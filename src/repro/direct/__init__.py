@@ -9,6 +9,7 @@ knowledge of the DSL, as a control experiment".
 
 from .caching import DirectCachedRedis
 from .checkpointing import DirectCheckpointManager
+from .failover import DirectFailoverRedis
 from .messaging import Endpoint, Envelope, MessageBus
 from .schemas import redis_entry_schema, suricata_packet_schema
 from .sharding import DirectShardedRedis
@@ -16,6 +17,7 @@ from .sharding import DirectShardedRedis
 __all__ = [
     "DirectCachedRedis",
     "DirectCheckpointManager",
+    "DirectFailoverRedis",
     "DirectShardedRedis",
     "Endpoint",
     "Envelope",

@@ -74,11 +74,21 @@ class HostContext:
         return v
 
     def set(self, key: str, value) -> None:
-        """Write junction state declared writable by the host block."""
+        """Write junction state declared writable by the host block.
+
+        Undeclared writes violate the block's ``⌊H⌉{V}`` contract.
+        Under the system's default ``host_contract="strict"`` they
+        raise; under ``"warn"`` the write goes through, but a
+        ``host_contract_violation`` telemetry event and counter record
+        it (the write still must name *known* junction state).
+        """
         if key not in self._writes:
-            raise HostError(
-                f"host block may not write {key!r}; declared writes are {sorted(self._writes)}"
-            )
+            if self._system.host_contract != "warn":
+                raise HostError(
+                    f"host block may not write {key!r}; declared writes are "
+                    f"{sorted(self._writes)}"
+                )
+            self._warn_contract(key)
         jr = self._junction
         if key in jr.idx_names:
             self._set_idx(key, value)
@@ -95,6 +105,18 @@ class HostContext:
             jr.table.set_local(key, value)
             return
         raise HostError(f"host block writes unknown junction state {key!r}")
+
+    def _warn_contract(self, key: str) -> None:
+        jr = self._junction
+        node = f"{jr.instance.name}::{jr.name}"
+        tele = self._system.telemetry
+        tele.emit(
+            "host_contract_violation",
+            node,
+            key=key,
+            declared=sorted(self._writes),
+        )
+        tele.counter("host_contract_violations", node=node, key=key).inc()
 
     def _set_idx(self, key: str, value) -> None:
         """Indices must take values from their underlying set — the

@@ -48,6 +48,7 @@ from ..core.expand import (
 from ..core.formula import TRUE, UNKNOWN, evaluate
 from ..core.validate import validate_closed_junction
 from ..serde.framing import Serializer
+from ..analysis.capture import note_program
 from ..telemetry import Telemetry
 from ..telemetry.facade import note_system
 from .channels import Message, Network
@@ -73,8 +74,18 @@ class System:
         sim: Simulator | None = None,
         delivery_policy: DeliveryPolicy | None = None,
         telemetry: Telemetry | bool | None = None,
+        host_contract: str = "strict",
     ):
+        if host_contract not in ("strict", "warn"):
+            raise ValueError(
+                f"host_contract must be 'strict' or 'warn', got {host_contract!r}"
+            )
         self.program = program
+        #: how undeclared host-block writes are handled: ``"strict"``
+        #: raises :class:`~repro.core.errors.HostError`; ``"warn"``
+        #: performs the write and emits a ``host_contract_violation``
+        #: telemetry event (sec. 6's ``⌊H⌉{V}`` write contract)
+        self.host_contract = host_contract
         self.sim = sim or Simulator()
         self.rng = random.Random(seed)
         # the telemetry facade owns the metrics registry shared by the
@@ -87,6 +98,7 @@ class System:
         else:
             self.telemetry = Telemetry(self.sim, enabled=telemetry is not False)
         note_system(self.telemetry)
+        note_program(program)
         self.network = Network(
             self.sim,
             default_latency=latency,

@@ -332,10 +332,19 @@ class Denoter:
     # Junction / wait post-processing
     # ------------------------------------------------------------------
 
-    def denote_junction(self, body: A.Expr, guard: Formula | None = None) -> ES:
+    def denote_junction(
+        self, body: A.Expr, guard: Formula | None = None, *, expand: bool = True
+    ) -> ES:
         """``Sched_J → [[body]] → Unsched_J`` with optional guard reads
         enabling the Sched event (cf. Fig. 18's ``Rd_g(Work,tt) →
-        Sched_g``), wait placeholders expanded."""
+        Sched_g``), wait placeholders expanded.
+
+        ``expand=False`` leaves ``Wait_J`` placeholders in place.  The
+        unexpanded structure is linear in the body size (expansion
+        duplicates the downstream structure once per DNF alternative,
+        which is exponential in the number of waits) and preserves the
+        enablement order of the body's own events — what the static
+        analyzer's concurrency pass needs."""
         eta = {
             "sub": A.Skip(),
             "return": A.Skip(),
@@ -351,6 +360,8 @@ class Denoter:
         if guard is not None:
             sched_es = self.denote_formula(guard).then(sched_es)
         out = sched_es.then(core).then(ES.of_events([unsched]))
+        if not expand:
+            return out
         return expand_waits(out, self.junction)
 
 

@@ -1,0 +1,90 @@
+"""CLI surface of the analyzer: ``repro analyze`` over all three input
+modes (architecture name, ``.csaw`` file, ``.py`` script) and the fast
+subset folded into ``repro check --strict``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "corpus"
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestAnalyze:
+    def test_race_fixture_text_output(self, capsys):
+        assert main(["analyze", str(CORPUS / "seeded_race.csaw")]) == 0
+        out = capsys.readouterr().out
+        assert "concurrent-write-race" in out
+        assert "witness:" in out
+
+    def test_fail_on_race_exits_2(self, capsys):
+        rc = main([
+            "analyze", str(CORPUS / "seeded_race.csaw"), "--fail-on", "race",
+        ])
+        assert rc == 2
+        assert "failing finding(s)" in capsys.readouterr().err
+
+    def test_fail_on_ignores_other_checks(self):
+        rc = main([
+            "analyze", str(CORPUS / "seeded_race.csaw"), "--fail-on", "dead",
+        ])
+        assert rc == 0
+
+    def test_suppressed_finding_does_not_fail(self):
+        rc = main([
+            "analyze", str(CORPUS / "suppressed_race.csaw"),
+            "--fail-on", "race",
+        ])
+        assert rc == 0
+
+    def test_clean_fixture_all_checks(self):
+        rc = main([
+            "analyze", str(CORPUS / "clean.csaw"),
+            "--fail-on", "race,dead,contract,unused",
+        ])
+        assert rc == 0
+
+    def test_json_output(self, capsys):
+        assert main([
+            "analyze", str(CORPUS / "contract.csaw"), "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        kinds = {f["kind"] for f in doc["findings"]}
+        assert {"host-undeclared-state", "undeclared-remote-key"} <= kinds
+
+    def test_architecture_by_name(self):
+        rc = main(["analyze", "failover", "--fast", "--fail-on", "race,contract"])
+        assert rc == 0
+
+    def test_example_script_capture(self, capsys):
+        rc = main([
+            "analyze", str(EXAMPLES / "quickstart.py"),
+            "--fail-on", "race,contract",
+        ])
+        assert rc == 0
+
+    def test_bad_fail_on_value(self):
+        with pytest.raises(SystemExit, match="--fail-on accepts"):
+            main(["analyze", str(CORPUS / "clean.csaw"), "--fail-on", "bogus"])
+
+
+class TestCheckStrict:
+    def test_contract_violation_exits_2(self, capsys):
+        rc = main(["check", str(CORPUS / "contract.csaw"), "--strict"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "host-undeclared-state" in out
+
+    def test_clean_exits_0(self):
+        assert main(["check", str(CORPUS / "clean.csaw"), "--strict"]) == 0
+
+    def test_strict_skips_deep_pass(self, capsys):
+        # the seeded race needs the event-structure pass; --strict runs
+        # only the fast key-flow subset and must not flag it
+        rc = main(["check", str(CORPUS / "seeded_race.csaw"), "--strict"])
+        assert rc == 0
+        assert "concurrent-write-race" not in capsys.readouterr().out

@@ -49,6 +49,32 @@ class TestProgramValidation:
         with pytest.raises(ValidationError):
             validate_program(p)
 
+    def test_duplicate_instance_names_the_duplicates(self):
+        p = prog(
+            """
+            instance_types { T }
+            instances { x: T, y: T, x: T, y: T }
+            def main() = start x()
+            """
+        )
+        with pytest.raises(
+            ValidationError, match=r"duplicate instance name\(s\): x, y"
+        ):
+            validate_program(p)
+
+    def test_duplicate_type_names_the_duplicates(self):
+        p = prog(
+            """
+            instance_types { T, U, T }
+            instances { x: T }
+            def main() = start x()
+            """
+        )
+        with pytest.raises(
+            ValidationError, match=r"duplicate instance type name\(s\): T"
+        ):
+            validate_program(p)
+
     def test_junction_of_undeclared_type(self):
         p = prog(BOILER + "def Zed::j() = skip")
         with pytest.raises(ValidationError):

@@ -102,6 +102,58 @@ class TestWrites:
         assert sys_.read_state("x::j", "n") == {"payload": 1}
 
 
+class TestWriteContract:
+    """Runtime enforcement of the ``⌊H⌉{V}`` write contract: strict
+    raises; warn performs the write but records the violation."""
+
+    DECLS = "| init prop !P | init prop !Q"
+    HOST = {"H": lambda ctx: ctx.set("Q", True)}  # H only declares {P}
+
+    def test_strict_rejects_undeclared_write(self):
+        sys_ = build("host H {P}", self.DECLS, self.HOST)
+        sys_.start()
+        sys_.run_until(1.0)
+        assert "HostError" in failures_of(sys_)
+        assert sys_.read_state("x::j", "Q") is False
+
+    def test_warn_performs_write_and_records_violation(self):
+        sys_ = single_junction(
+            "host H {P}", decls=self.DECLS,
+            host_contract="warn", telemetry=True,
+        )
+        sys_.bind_host("T", "H", self.HOST["H"])
+        sys_.start()
+        sys_.run_until(1.0)
+        assert failures_of(sys_) == []
+        assert sys_.read_state("x::j", "Q") is True
+        (ev,) = [
+            e for e in sys_.telemetry.events
+            if e.kind == "host_contract_violation"
+        ]
+        assert ev.node == "x::j"
+        assert ev.attrs["key"] == "Q"
+        assert ev.attrs["declared"] == ["P"]
+        counter = sys_.telemetry.counter(
+            "host_contract_violations", node="x::j", key="Q"
+        )
+        assert counter.value == 1
+
+    def test_warn_still_rejects_unknown_state(self):
+        # warn relaxes the contract, not the state model: writing a key
+        # the junction never declares is still an error
+        sys_ = single_junction(
+            "host H {P}", decls=self.DECLS, host_contract="warn",
+        )
+        sys_.bind_host("T", "H", lambda ctx: ctx.set("Zed", True))
+        sys_.start()
+        sys_.run_until(1.0)
+        assert "HostError" in failures_of(sys_)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            single_junction("skip", host_contract="loose")
+
+
 class TestCost:
     def test_negative_take_rejected(self):
         sys_ = build("host H", "", {"H": lambda ctx: ctx.take(-1)})
