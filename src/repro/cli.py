@@ -21,6 +21,16 @@ Commands:
                   ``.py`` script) with telemetry on and export the
                   causal trace as JSONL or Chrome trace-event JSON
                   (loadable in ``chrome://tracing`` / Perfetto).
+* ``explore``   — controlled-scheduler interleaving search: run a
+                  shipped architecture name, a ``.csaw`` file or a
+                  ``.py`` scenario script under every reachable
+                  schedule (``--strategy dpor|bfs|dfs|random``,
+                  ``--budget N``), checking invariants over each final
+                  state.  Failing interleavings serialize as replayable
+                  JSON (``--replay schedule.json`` reproduces the exact
+                  run, byte-identical telemetry); ``--witness-races``
+                  attempts a concrete witness schedule for every static
+                  race finding.
 
 Configuration values (set contents, parameters) are supplied as
 ``--config name=value`` pairs; values parse as numbers, comma-separated
@@ -299,6 +309,121 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _explore_scenario(args):
+    from .explore import resolve_scenario
+
+    return resolve_scenario(
+        args.file, config=_parse_config(args.config), horizon=args.until
+    )
+
+
+def _write_trace(result, schedule_id: str, path: str) -> None:
+    from .telemetry.sinks import to_jsonl
+
+    out = to_jsonl(result.system.telemetry.events, system=f"schedule:{schedule_id}")
+    Path(path).write_text(out)
+    print(f"wrote telemetry to {path} (schedule:{schedule_id})", file=sys.stderr)
+
+
+def _explore_replay(args, scenario) -> int:
+    import json
+
+    from .explore import Schedule, ScheduleDivergence, replay
+
+    sched = Schedule.from_json(json.loads(Path(args.replay).read_text()))
+    invariants = tuple(args.invariant) if args.invariant else None
+    try:
+        res = replay(scenario, sched, invariants=invariants)
+    except ScheduleDivergence as e:
+        print(f"error: replay diverged: {e}", file=sys.stderr)
+        return 1
+    if args.trace_out:
+        _write_trace(res, sched.schedule_id, args.trace_out)
+    if res.violations:
+        for inv, msg in res.violations:
+            print(f"violation [{inv}]: {msg}")
+        return 1
+    print(f"replayed schedule {sched.schedule_id}: all invariants hold")
+    return 0
+
+
+def _explore_witness_races(args, scenario) -> int:
+    import json
+
+    from .analysis import analyze_source
+    from .arch.loader import ARCHITECTURES, load_source
+    from .explore import witness_findings
+
+    if args.file in ARCHITECTURES:
+        text = load_source(args.file)
+    else:
+        path = Path(args.file)
+        if path.suffix == ".py":
+            raise SystemExit(
+                "error: --witness-races needs a .csaw file or architecture "
+                "name (the static analyzer works on DSL sources)"
+            )
+        text = path.read_text()
+    report = analyze_source(
+        text, _parse_config(args.config), label=args.file, deep=True
+    )
+    races = [f for f in report.unsuppressed() if f.check == "race"]
+    if not races:
+        print(f"{args.file}: the analyzer reports no unsuppressed races")
+        return 0
+    witnesses = witness_findings(
+        scenario,
+        races,
+        strategy=args.strategy,
+        budget=args.budget,
+        depth=args.depth,
+        seed=args.seed,
+    )
+    for w in witnesses:
+        print(w.describe())
+    if args.out:
+        payload = [w.to_json() for w in witnesses]
+        Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(payload)} witness attempt(s) to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_explore(args) -> int:
+    import json
+
+    from .explore import explore
+
+    scenario = _explore_scenario(args)
+    if args.replay:
+        return _explore_replay(args, scenario)
+    if args.witness_races:
+        return _explore_witness_races(args, scenario)
+
+    invariants = tuple(args.invariant) if args.invariant else None
+    result = explore(
+        scenario,
+        strategy=args.strategy,
+        budget=args.budget,
+        depth=args.depth,
+        invariants=invariants,
+        seed=args.seed,
+    )
+    print(f"{scenario.name}: {result.summary()}")
+    for v in result.violations:
+        print(
+            f"violation [{v.invariant}] under schedule "
+            f"{v.schedule.schedule_id}: {v.message}"
+        )
+    if args.out and result.violations:
+        payload = [v.to_json() for v in result.violations]
+        Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(
+            f"wrote {len(payload)} failing schedule(s) to {args.out}",
+            file=sys.stderr,
+        )
+    return 2 if result.violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="C-Saw architecture tooling"
@@ -383,6 +508,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--out", help="write to this file instead of stdout")
     sp.set_defaults(fn=cmd_trace)
+
+    sp = sub.add_parser(
+        "explore",
+        help="controlled-scheduler interleaving search with invariant checks",
+    )
+    sp.add_argument(
+        "file",
+        help="a shipped architecture name, a .csaw file, or a .py scenario "
+             "script defining build_scenario()",
+    )
+    sp.add_argument(
+        "--config", action="append", default=[], metavar="NAME=VALUE",
+        help="load-time configuration (for .csaw files); repeatable",
+    )
+    sp.add_argument(
+        "--strategy", choices=("dpor", "bfs", "dfs", "random"), default="dpor",
+        help="search strategy (default: dpor — partial-order-reduced search)",
+    )
+    sp.add_argument(
+        "--budget", type=int, default=200,
+        help="maximum schedules to run (default: 200)",
+    )
+    sp.add_argument(
+        "--depth", type=int, default=None,
+        help="branch only at the first N choice points (default: unbounded)",
+    )
+    sp.add_argument(
+        "--invariant", action="append", default=[], metavar="NAME",
+        help="invariant to check (repeatable; default: the scenario's own "
+             "set — no-failures, convergence, at-most-once, ...)",
+    )
+    sp.add_argument(
+        "--seed", type=int, default=0, help="seed for the random strategy"
+    )
+    sp.add_argument(
+        "--until", type=float, default=None,
+        help="simulated-seconds horizon for .csaw scenarios",
+    )
+    sp.add_argument(
+        "--replay", metavar="SCHEDULE_JSON",
+        help="replay a serialized schedule exactly instead of searching",
+    )
+    sp.add_argument(
+        "--trace-out", metavar="FILE",
+        help="with --replay: export the run's telemetry JSONL (labeled with "
+             "the schedule id) to FILE",
+    )
+    sp.add_argument(
+        "--witness-races", action="store_true",
+        help="run the static analyzer and attempt a concrete witness "
+             "schedule for every unsuppressed race finding",
+    )
+    sp.add_argument(
+        "--out", metavar="FILE",
+        help="write failing schedules (or --witness-races results) as JSON",
+    )
+    sp.set_defaults(fn=cmd_explore)
 
     return p
 

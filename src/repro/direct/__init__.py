@@ -9,15 +9,21 @@ knowledge of the DSL, as a control experiment".
 
 from .caching import DirectCachedRedis
 from .checkpointing import DirectCheckpointManager
+from .elastic import DirectElasticWorkers
 from .failover import DirectFailoverRedis
 from .messaging import Endpoint, Envelope, MessageBus
+from .migration import DirectMigratableRedis
 from .schemas import redis_entry_schema, suricata_packet_schema
 from .sharding import DirectShardedRedis
+from .snapshot import DirectRemoteAuditor
 
 __all__ = [
     "DirectCachedRedis",
     "DirectCheckpointManager",
+    "DirectElasticWorkers",
     "DirectFailoverRedis",
+    "DirectMigratableRedis",
+    "DirectRemoteAuditor",
     "DirectShardedRedis",
     "Endpoint",
     "Envelope",

@@ -1,0 +1,69 @@
+"""Schedule exploration: controlled scheduling, interleaving search and
+invariant checking over the deterministic simulator.
+
+The deterministic simulator executes *one* linearization of an
+architecture's concurrency.  This package turns every co-enabled event
+set into an explicit choice point (:class:`~repro.runtime.sim.ScheduleController`),
+searches the resulting choice tree (exhaustive BFS/DFS, DPOR-lite
+partial-order reduction, seeded random fuzzing), checks invariants over
+each run's final state, and serializes failing interleavings as
+replayable JSON schedules.  See ``docs/TESTING.md`` and
+``repro explore --help``.
+"""
+
+from .controller import ChoicePoint, RecordingController, ScheduleDivergence
+from .explorer import (
+    ExplorationResult,
+    RunResult,
+    STRATEGIES,
+    Violation,
+    explore,
+    replay,
+    run_schedule,
+)
+from .invariants import (
+    INVARIANTS,
+    Invariant,
+    check_invariants,
+    get_invariants,
+    register_invariant,
+)
+from .linearize import Op, check_linearizable
+from .scenarios import (
+    CsawScenario,
+    Scenario,
+    arch_scenario,
+    load_py_scenario,
+    resolve_scenario,
+)
+from .schedule import Schedule
+from .witness import RaceWitness, witness_findings, witness_race
+
+__all__ = [
+    "ChoicePoint",
+    "CsawScenario",
+    "ExplorationResult",
+    "INVARIANTS",
+    "Invariant",
+    "Op",
+    "RaceWitness",
+    "RecordingController",
+    "RunResult",
+    "STRATEGIES",
+    "Scenario",
+    "Schedule",
+    "ScheduleDivergence",
+    "Violation",
+    "arch_scenario",
+    "check_invariants",
+    "check_linearizable",
+    "explore",
+    "get_invariants",
+    "load_py_scenario",
+    "register_invariant",
+    "replay",
+    "resolve_scenario",
+    "run_schedule",
+    "witness_findings",
+    "witness_race",
+]

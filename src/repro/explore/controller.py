@@ -1,0 +1,114 @@
+"""Schedule controllers: record, replay and randomize interleavings.
+
+The simulator consults its :class:`~repro.runtime.sim.ScheduleController`
+whenever more than one event is co-enabled (same time and priority).
+:class:`RecordingController` implements the three behaviours the
+exploration harness needs on top of that hook:
+
+* **replay** a choice prefix (the first ``len(prefix)`` choice points
+  follow the given indices, optionally label-checked);
+* **extend** past the prefix with a deterministic tail policy —
+  ``"first"`` (index 0, the uncontrolled order) for systematic search,
+  ``"random"`` (seeded) for fuzzing;
+* **record** every choice point (labels, footprints, chosen index) so
+  the completed run is itself a replayable :class:`Schedule` and the
+  search strategies can compute alternative branches from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..runtime.sim import ScheduleController
+from .schedule import Schedule
+
+
+class ScheduleDivergence(RuntimeError):
+    """Replay drifted: the event a schedule chose no longer exists at
+    that choice point (the scenario changed underneath the schedule)."""
+
+
+@dataclass
+class ChoicePoint:
+    """One recorded choice: the co-enabled set and what was picked."""
+
+    time: float
+    labels: list[str | None]
+    footprints: list[object]
+    chosen: int
+
+    @property
+    def arity(self) -> int:
+        return len(self.labels)
+
+
+class RecordingController(ScheduleController):
+    """Replays a prefix of choices, then follows a tail policy.
+
+    ``prefix`` is a sequence of indices into each choice point's
+    co-enabled set; out-of-range prefix entries raise
+    :class:`ScheduleDivergence` (the schedule no longer matches the
+    scenario).  ``expect_labels``, when given, must align with
+    ``prefix`` and is checked against the chosen event's label at each
+    replayed choice point.
+    """
+
+    def __init__(
+        self,
+        prefix: tuple[int, ...] = (),
+        *,
+        tail: str = "first",
+        rng: random.Random | None = None,
+        expect_labels: list[str | None] | None = None,
+    ):
+        if tail not in ("first", "random"):
+            raise ValueError(f"tail policy must be 'first' or 'random', got {tail!r}")
+        if tail == "random" and rng is None:
+            raise ValueError("tail='random' needs an rng")
+        self.prefix = tuple(prefix)
+        self.tail = tail
+        self.rng = rng
+        self.expect_labels = expect_labels
+        self.trace: list[ChoicePoint] = []
+
+    def choose(self, time: float, events: list) -> int:
+        i = len(self.trace)
+        if i < len(self.prefix):
+            idx = self.prefix[i]
+            if not (0 <= idx < len(events)):
+                raise ScheduleDivergence(
+                    f"choice point {i}: schedule picks index {idx} but only "
+                    f"{len(events)} events are co-enabled "
+                    f"({[e.label for e in events]})"
+                )
+            if self.expect_labels is not None and i < len(self.expect_labels):
+                want = self.expect_labels[i]
+                got = events[idx].label
+                if want is not None and got != want:
+                    raise ScheduleDivergence(
+                        f"choice point {i}: schedule expects {want!r} at "
+                        f"index {idx}, found {got!r}"
+                    )
+        elif self.tail == "random":
+            idx = self.rng.randrange(len(events))
+        else:
+            idx = 0
+        self.trace.append(
+            ChoicePoint(
+                time=time,
+                labels=[e.label for e in events],
+                footprints=[e.footprint for e in events],
+                chosen=idx,
+            )
+        )
+        return idx
+
+    def schedule(self, scenario: str = "", **meta) -> Schedule:
+        """The completed run as a replayable schedule."""
+        return Schedule(
+            choices=[cp.chosen for cp in self.trace],
+            labels=[cp.labels[cp.chosen] for cp in self.trace],
+            scenario=scenario,
+            meta=meta,
+        )

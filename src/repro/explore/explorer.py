@@ -1,0 +1,209 @@
+"""Interleaving search over the controlled scheduler.
+
+Exploration is *stateless model checking by reset-replay*: the system
+under test is rebuilt from scratch for every schedule, a choice prefix
+is replayed, and the run continues under a deterministic tail policy.
+Branching comes from the recorded trace — every choice point past the
+prefix spawns the alternative prefixes that pick a different co-enabled
+event.
+
+Strategies:
+
+* ``bfs`` / ``dfs`` — systematic enumeration of the choice tree (FIFO
+  or LIFO frontier) up to a run ``budget`` and optional branching
+  ``depth``;
+* ``dpor`` — the same enumeration with partial-order reduction *lite*:
+  an alternative branch is pruned when its event provably commutes
+  with the event actually chosen (disjoint read/write footprints from
+  :mod:`repro.semantics.commute`) — swapping two adjacent independent
+  events reaches the same state, so the sibling branch explores
+  nothing new.  Unlike full DPOR there are no cross-step happens-before
+  races computed, so this is a sound *heuristic* reduction: it only
+  prunes provably-equivalent immediate siblings and therefore never
+  misses a state a naive search of the same depth would reach, but it
+  also does not collapse every Mazurkiewicz trace;
+* ``random`` — seeded random-walk fuzzing: ``budget`` independent runs
+  picking uniformly at every choice point.
+
+Every run ends with the scenario's invariants evaluated over the final
+state; violations carry the complete recorded schedule, which is a
+replayable artifact (``repro explore --replay``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..runtime.sim import use_controller
+from ..semantics.commute import commutes
+from .controller import ChoicePoint, RecordingController
+from .invariants import check_invariants
+from .schedule import Schedule
+from .scenarios import Scenario
+
+STRATEGIES = ("bfs", "dfs", "dpor", "random")
+
+
+@dataclass
+class RunResult:
+    """One controlled run: the schedule taken and what it produced."""
+
+    schedule: Schedule
+    trace: list[ChoicePoint]
+    system: object
+    observations: dict
+    violations: list[tuple[str, str]]  # (invariant, message)
+
+
+@dataclass
+class Violation:
+    invariant: str
+    message: str
+    schedule: Schedule
+
+    def to_json(self) -> dict:
+        out = self.schedule.to_json()
+        out["invariant"] = self.invariant
+        out["message"] = self.message
+        return out
+
+
+@dataclass
+class ExplorationResult:
+    strategy: str
+    runs: int = 0
+    choice_points: int = 0  # branch points encountered across all runs
+    pruned: int = 0  # sibling branches skipped by commutation (dpor)
+    exhausted: bool = False  # the frontier drained within the budget
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = (
+            "no violations"
+            if self.ok
+            else f"{len(self.violations)} violation(s)"
+        )
+        tail = "frontier exhausted" if self.exhausted else "budget reached"
+        return (
+            f"{self.strategy}: {self.runs} run(s), "
+            f"{self.choice_points} choice point(s), "
+            f"{self.pruned} branch(es) pruned, {verdict} ({tail})"
+        )
+
+
+def run_schedule(
+    scenario: Scenario,
+    prefix: tuple[int, ...] = (),
+    *,
+    tail: str = "first",
+    rng: random.Random | None = None,
+    expect_labels: list | None = None,
+    invariants: tuple[str, ...] | None = None,
+) -> RunResult:
+    """Run one schedule from scratch and evaluate invariants."""
+    ctl = RecordingController(
+        tuple(prefix), tail=tail, rng=rng, expect_labels=expect_labels
+    )
+    with use_controller(lambda: ctl):
+        system = scenario.run()
+    obs = scenario.observe(system)
+    names = scenario.invariants if invariants is None else invariants
+    violations = check_invariants(system, obs, names)
+    return RunResult(
+        schedule=ctl.schedule(scenario.name),
+        trace=ctl.trace,
+        system=system,
+        observations=obs,
+        violations=violations,
+    )
+
+
+def replay(scenario: Scenario, schedule: Schedule, *, invariants=None) -> RunResult:
+    """Replay a serialized schedule exactly (label-checked)."""
+    return run_schedule(
+        scenario,
+        tuple(schedule.choices),
+        expect_labels=list(schedule.labels),
+        invariants=invariants,
+    )
+
+
+def explore(
+    scenario: Scenario,
+    *,
+    strategy: str = "dpor",
+    budget: int = 200,
+    depth: int | None = None,
+    invariants: tuple[str, ...] | None = None,
+    seed: int = 0,
+    stop_on_violation: bool = False,
+    on_run=None,
+) -> ExplorationResult:
+    """Search interleavings of ``scenario`` under a run ``budget``.
+
+    ``depth`` bounds how many choice points may branch (deeper points
+    still replay deterministically but spawn no alternatives).
+    ``on_run(result)`` is called after each run — the hook the race
+    witness search uses to compare final states across schedules; a
+    truthy return stops the exploration early.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    result = ExplorationResult(strategy=strategy)
+
+    def record(res: RunResult) -> bool:
+        result.runs += 1
+        for inv, msg in res.violations:
+            result.violations.append(Violation(inv, msg, res.schedule))
+        stop = bool(on_run(res)) if on_run is not None else False
+        return stop or (stop_on_violation and bool(result.violations))
+
+    if strategy == "random":
+        for i in range(budget):
+            res = run_schedule(
+                scenario,
+                (),
+                tail="random",
+                rng=random.Random(seed * 1_000_003 + i),
+                invariants=invariants,
+            )
+            result.choice_points += len(res.trace)
+            if record(res):
+                return result
+        result.exhausted = False
+        return result
+
+    frontier: deque[tuple[int, ...]] = deque([()])
+    visited: set[tuple[int, ...]] = {()}
+    while frontier:
+        if result.runs >= budget:
+            return result  # exhausted stays False: frontier not drained
+        prefix = frontier.popleft() if strategy != "dfs" else frontier.pop()
+        res = run_schedule(scenario, prefix, invariants=invariants)
+        if record(res):
+            return result
+        choices = res.schedule.choices
+        for i in range(len(prefix), len(res.trace)):
+            if depth is not None and i >= depth:
+                break
+            cp = res.trace[i]
+            result.choice_points += 1
+            chosen_fp = cp.footprints[cp.chosen]
+            for k in range(cp.arity):
+                if k == cp.chosen:
+                    continue
+                if strategy == "dpor" and commutes(chosen_fp, cp.footprints[k]):
+                    result.pruned += 1
+                    continue
+                alt = tuple(choices[:i]) + (k,)
+                if alt not in visited:
+                    visited.add(alt)
+                    frontier.append(alt)
+    result.exhausted = True
+    return result

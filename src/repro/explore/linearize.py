@@ -1,0 +1,74 @@
+"""Linearizability checking for GET/SET (register) histories.
+
+The redislite store is, per key, a register: SET writes, GET reads the
+most recent write.  A concurrent history of timed operations is
+*linearizable* when there is a total order that (a) respects real time
+— an operation that finished before another started comes first — and
+(b) is legal for a register — every GET returns the value of the
+latest preceding SET (or the initial value).
+
+The checker is the classic Wing & Gong search: repeatedly try each
+minimal (no operation finished before it started) pending operation
+against the sequential specification and backtrack on failure.  It is
+exponential in the worst case but the exploration harness only feeds
+it tiny histories (a handful of operations per key), where it is
+instantaneous.  Keys are independent registers, so the history is
+checked per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Op:
+    """One timed client operation against the store."""
+
+    kind: str  # "GET" | "SET"
+    key: str
+    value: object  # SET: value written; GET: value returned
+    start: float
+    end: float
+    ok: bool = True
+
+
+def _linearizable_key(ops: list[Op], initial: object) -> bool:
+    """Wing-Gong search over the operations of a single key."""
+
+    def search(pending: frozenset[int], state: object) -> bool:
+        if not pending:
+            return True
+        # minimal ops: nothing still pending finished strictly before
+        # their start
+        for i in pending:
+            if any(ops[j].end < ops[i].start for j in pending if j != i):
+                continue
+            op = ops[i]
+            if op.kind == "SET":
+                if search(pending - {i}, op.value):
+                    return True
+            else:  # GET
+                if op.value == state and search(pending - {i}, state):
+                    return True
+        return False
+
+    return search(frozenset(range(len(ops))), initial)
+
+
+def check_linearizable(history: list[Op], initial: object = None) -> list[str]:
+    """Check a multi-key history; returns violation messages (empty =
+    linearizable).  Failed operations (``ok=False``) took no effect at
+    the store in this model and are excluded."""
+    by_key: dict[str, list[Op]] = {}
+    for op in history:
+        if op.ok:
+            by_key.setdefault(op.key, []).append(op)
+    out = []
+    for key, ops in sorted(by_key.items()):
+        if not _linearizable_key(ops, initial):
+            out.append(
+                f"history of key {key!r} is not linearizable "
+                f"({len(ops)} operation(s))"
+            )
+    return out

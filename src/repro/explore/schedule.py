@@ -1,0 +1,75 @@
+"""Replayable schedules: the serialized form of one interleaving.
+
+A schedule is the sequence of choices a
+:class:`~repro.explore.controller.RecordingController` made — one
+integer per *choice point* (a simulator step whose co-enabled set held
+more than one event).  Together with the scenario (which fixes the
+program, seeds and workload) it pins the run completely: replaying the
+same choices on a fresh system reproduces the exact interleaving, so a
+failing schedule found by exploration is a portable, attachable
+artifact.
+
+Labels are recorded alongside the chosen indices purely as a sanity
+net: on replay the controller checks that the event picked at each
+choice point still carries the recorded label, catching schedules
+replayed against a drifted scenario (different code, config or seed)
+instead of silently exploring something else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Schedule:
+    """One recorded interleaving.
+
+    ``choices[i]`` is the index picked at the i-th choice point (into
+    the co-enabled set in default ``(priority, seq)`` order);
+    ``labels[i]`` is the label of the chosen event (``None`` for
+    anonymous events).  ``scenario`` and ``meta`` document provenance —
+    they do not affect replay.
+    """
+
+    choices: list[int] = field(default_factory=list)
+    labels: list[str | None] = field(default_factory=list)
+    scenario: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def schedule_id(self) -> str:
+        """Stable short hash of the choice sequence (used to label
+        telemetry exported from a controlled run)."""
+        blob = ",".join(str(c) for c in self.choices).encode()
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "scenario": self.scenario,
+            "schedule_id": self.schedule_id,
+            "choices": list(self.choices),
+            "labels": list(self.labels),
+            "meta": dict(self.meta),
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Schedule":
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported schedule version {data.get('version')!r}")
+        return cls(
+            choices=[int(c) for c in data.get("choices", [])],
+            labels=list(data.get("labels", [])),
+            scenario=str(data.get("scenario", "")),
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "Schedule":
+        return cls.from_json(json.loads(text))

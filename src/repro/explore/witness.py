@@ -1,0 +1,152 @@
+"""Concrete witnesses for static race findings.
+
+The analyzer's race pass (:mod:`repro.analysis.races`) reports that
+two junctions write the same key of the same table with no ordering —
+a *static* claim with an abstract event witness.  This module tries to
+make each such claim *concrete*: explore interleavings of a scenario
+and watch the final value of the racy ``(node, key)``.  If two
+schedules end with different values, the race is real under this
+workload, and the diverging schedule is returned as a replayable
+artifact; otherwise the finding is reported as not reproduced under
+the budget (which does not refute it — the workload may simply never
+co-enable the writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .explorer import ExplorationResult, RunResult, explore
+from .schedule import Schedule
+from .scenarios import Scenario
+
+_UNSET = object()
+
+
+@dataclass
+class RaceWitness:
+    """Outcome of one exploration attempt for one race finding."""
+
+    node: str
+    key: str
+    kind: str  # the finding's kind (write-write-race, …)
+    reproduced: bool
+    baseline: object = None  # final value under the default schedule
+    divergent: object = None  # differing final value, when reproduced
+    schedule: Schedule | None = None  # schedule reaching ``divergent``
+    runs: int = 0
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return (
+                f"{self.kind} at {self.node} key {self.key!r}: CONFIRMED — "
+                f"final value {self.baseline!r} under the default schedule "
+                f"vs {self.divergent!r} under schedule "
+                f"{self.schedule.schedule_id} ({self.runs} run(s))"
+            )
+        return (
+            f"{self.kind} at {self.node} key {self.key!r}: not reproduced "
+            f"under budget ({self.runs} run(s))"
+        )
+
+    def to_json(self) -> dict:
+        out = {
+            "node": self.node,
+            "key": self.key,
+            "kind": self.kind,
+            "reproduced": self.reproduced,
+            "runs": self.runs,
+        }
+        if self.reproduced:
+            out["baseline"] = repr(self.baseline)
+            out["divergent"] = repr(self.divergent)
+            out["schedule"] = self.schedule.to_json()
+        return out
+
+
+def _final_value(system, node: str, key: str):
+    """The post-run value of ``key`` in ``node``'s table (``_UNSET``
+    when the node or key does not exist at runtime)."""
+    try:
+        jr = system.junction(node)
+    except Exception:
+        return _UNSET
+    return jr.table.values.get(key, _UNSET)
+
+
+def witness_race(
+    scenario: Scenario,
+    node: str,
+    key: str,
+    *,
+    kind: str = "race",
+    strategy: str = "dpor",
+    budget: int = 64,
+    depth: int | None = None,
+    seed: int = 0,
+) -> RaceWitness:
+    """Explore ``scenario`` looking for two schedules that leave
+    ``node``'s ``key`` with different final values."""
+    state: dict = {}
+
+    def on_run(res: RunResult) -> bool:
+        v = _final_value(res.system, node, key)
+        if "baseline" not in state:
+            state["baseline"] = v
+            return False
+        if v is not _UNSET and state["baseline"] is not _UNSET and v != state["baseline"]:
+            state["divergent"] = v
+            state["schedule"] = res.schedule
+            return True  # stop: a concrete witness exists
+        return False
+
+    # invariants off: the witness search only compares final values
+    result: ExplorationResult = explore(
+        scenario,
+        strategy=strategy,
+        budget=budget,
+        depth=depth,
+        invariants=(),
+        seed=seed,
+        on_run=on_run,
+    )
+    reproduced = "divergent" in state
+    return RaceWitness(
+        node=node,
+        key=key,
+        kind=kind,
+        reproduced=reproduced,
+        baseline=None if state.get("baseline") is _UNSET else state.get("baseline"),
+        divergent=state.get("divergent"),
+        schedule=state.get("schedule"),
+        runs=result.runs,
+    )
+
+
+def witness_findings(
+    scenario: Scenario,
+    findings,
+    *,
+    strategy: str = "dpor",
+    budget: int = 64,
+    depth: int | None = None,
+    seed: int = 0,
+) -> list[RaceWitness]:
+    """One exploration attempt per unsuppressed race finding."""
+    out = []
+    for f in findings:
+        if f.check != "race" or f.suppressed:
+            continue
+        out.append(
+            witness_race(
+                scenario,
+                f.node,
+                f.key,
+                kind=f.kind,
+                strategy=strategy,
+                budget=budget,
+                depth=depth,
+                seed=seed,
+            )
+        )
+    return out

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from ..semantics.commute import Footprint, key_token
 from ..telemetry import MetricsRegistry
 from .sim import Simulator
 
@@ -291,7 +292,17 @@ class Network:
             self.count("delivered", msg.kind, src_inst, dst_inst)
             handler(msg)
 
-        self.sim.call_after(latency, deliver)
+        # label + footprint make the delivery a replayable, reorderable
+        # choice for the exploration harness: an update touches the
+        # destination key; an ack wakes the destination's waiting strand
+        if msg.kind == "update":
+            key = getattr(msg.payload, "key", "?")
+            label = f"deliver:update:{msg.src}->{msg.dst}#{key}:{msg.msg_id}"
+            fp = Footprint.make(writes=[key_token(msg.dst, key)])
+        else:
+            label = f"deliver:{msg.kind}:{msg.src}->{msg.dst}:{msg.msg_id}"
+            fp = Footprint.make(writes=[key_token(msg.dst, "__strand__")])
+        self.sim.call_after(latency, deliver, label=label, footprint=fp)
 
     def next_msg_id(self) -> int:
         self._msg_counter += 1

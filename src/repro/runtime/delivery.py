@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ..core.errors import DeliveryFailure
+from ..semantics.commute import Footprint, key_token
 from .channels import Message
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -177,8 +178,12 @@ class ReliableDelivery:
 
     def _arm_timer(self, pending: _Pending) -> None:
         delay = pending.timeout * (1.0 + self.policy.jitter * (2.0 * self._rng.random() - 1.0))
+        msg = pending.msg
         pending.handle = self.system.sim.call_after(
-            delay, lambda mid=pending.msg.msg_id: self._retransmit(mid)
+            delay,
+            lambda mid=msg.msg_id: self._retransmit(mid),
+            label=f"retransmit:{msg.src}->{msg.dst}:{msg.msg_id}",
+            footprint=Footprint.make(writes=[key_token(msg.src, "__delivery__")]),
         )
 
     def _retransmit(self, msg_id: int) -> None:

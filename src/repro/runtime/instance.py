@@ -89,8 +89,15 @@ class JunctionRuntime:
         self.prop_names: set[str] = set()
 
     def init_state(self) -> None:
-        """(Re)initialize the KV table from the specialized decls."""
+        """(Re)initialize the KV table from the specialized decls.
+
+        The values reset; the msg-id dedup window carries over — it is
+        transport state, and a restarted junction must keep suppressing
+        retransmissions its previous incarnation already applied (see
+        :meth:`KVTable.adopt_dedup`)."""
+        prev = self.table
         self.table = KVTable(owner=self.node)
+        self.table.adopt_dedup(prev)
         self.idx_names.clear()
         self.subset_names.clear()
         self.set_values.clear()

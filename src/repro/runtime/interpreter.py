@@ -50,6 +50,7 @@ from ..core.errors import (
     VerifyUnknown,
 )
 from ..core.formula import UNKNOWN, Formula, evaluate, propositions
+from ..semantics.commute import Footprint, key_token, node_token
 from .channels import Message
 from .host import HostContext
 from .kvtable import UNDEF, Update
@@ -246,7 +247,13 @@ class JunctionExecution:
         if self._pump_scheduled or self.finished:
             return
         self._pump_scheduled = True
-        self.system.sim.call_after(0.0, self._pump_cb, priority=-1)
+        self.system.sim.call_after(
+            0.0,
+            self._pump_cb,
+            priority=-1,
+            label=f"pump:{self.jr.node}",
+            footprint=Footprint.make(writes=[node_token(self.jr.node)]),
+        )
 
     def _pump_cb(self) -> None:
         self._pump_scheduled = False
@@ -313,7 +320,10 @@ class JunctionExecution:
             strand.state = "blocked"
             strand.block = req
             strand.sleep_handle = self.system.sim.call_after(
-                req.duration, lambda s=strand: self._wake(s)
+                req.duration,
+                lambda s=strand: self._wake(s),
+                label=f"sleep-wake:{self.jr.node}",
+                footprint=Footprint.make(writes=[key_token(self.jr.node, "__strand__")]),
             )
             return
         if req.kind == "join":
@@ -735,7 +745,12 @@ class JunctionExecution:
         if e.timeout is not None:
             deadline = self.system.sim.now + self.eval_arg_number(e.timeout)
             scope = _DeadlineScope(strand, deadline)
-            scope.handle = self.system.sim.call_at(deadline, lambda sc=scope: self._deadline_fired(sc))
+            scope.handle = self.system.sim.call_at(
+                deadline,
+                lambda sc=scope: self._deadline_fired(sc),
+                label=f"deadline:{self.jr.node}",
+                footprint=Footprint.make(writes=[key_token(self.jr.node, "__strand__")]),
+            )
         try:
             yield from self.exec_expr(e.body)
         except DslFailure as f:

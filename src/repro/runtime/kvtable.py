@@ -179,6 +179,18 @@ class KVTable:
             self._seen_msg_ids.discard(self._seen_order.popleft())
         return True
 
+    def adopt_dedup(self, other: "KVTable") -> None:
+        """Carry another table's msg-id dedup window into this one.
+
+        The dedup filter is *transport* state, not junction state: a
+        junction restarted (or migrated onto a successor instance) with
+        a fresh table must still recognize retransmissions of updates
+        the previous incarnation already applied and acknowledged —
+        otherwise a retransmission whose ack was lost re-applies into
+        the fresh window and breaks exactly-once application."""
+        self._seen_msg_ids = set(other._seen_msg_ids)
+        self._seen_order = deque(other._seen_order)
+
     def recv_seq_of(self, key: str) -> int:
         """How many remote updates to ``key`` have ever arrived.  The
         interpreter samples this before a remote assert/retract and

@@ -20,10 +20,30 @@ simulator therefore counts live cancelled entries and *compacts* the
 heap (filters + re-heapifies, O(n)) once they outnumber the real ones,
 bounding memory at ~2x the live event count while keeping ``cancel``
 O(1).
+
+Controlled-scheduler mode
+-------------------------
+
+Insertion order is only *one* linearization of the architecture's
+concurrency: events scheduled for the same ``(time, priority)`` are
+logically co-enabled (junction attempts after a start, message
+deliveries over equal-latency links, zero-delay wake-ups).  Setting
+:attr:`Simulator.controller` exposes each such co-enabled set as a
+*choice point*: the controller picks which event fires first, and the
+rest stay queued.  The schedule-exploration harness
+(:mod:`repro.explore`) drives this to enumerate interleavings; with no
+controller the fast path is untouched and ``(priority, seq)`` order
+applies, so normal runs stay byte-identical to previous releases.
+
+Scheduling sites may attach a ``label`` (a stable human-readable
+identity used by schedule recording/replay) and a ``footprint``
+(a :class:`repro.semantics.commute.Footprint` declaring the state the
+callback touches, used by partial-order reduction).
 """
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
@@ -42,6 +62,45 @@ class _Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
     in_heap: bool = field(compare=False, default=True)
+    #: stable identity for schedule recording/replay (None = anonymous)
+    label: str | None = field(compare=False, default=None)
+    #: state touched by the callback (repro.semantics.commute.Footprint);
+    #: None = unknown, treated as interfering with everything
+    footprint: object = field(compare=False, default=None)
+
+
+class ScheduleController:
+    """Decides which of a co-enabled event set fires first.
+
+    ``choose`` receives the simulated time and the co-enabled events in
+    their default ``(priority, seq)`` order and returns the index of
+    the event to run; the others stay queued and re-surface at the next
+    step.  The base class always picks index 0, which reproduces the
+    uncontrolled order exactly.
+    """
+
+    def choose(self, time: float, events: list[_Event]) -> int:
+        return 0
+
+
+#: factory consulted by ``Simulator.__init__`` — lets the exploration
+#: harness attach a controller to simulators it cannot reach directly
+#: (architecture wrappers build and *start* their System inside
+#: ``__init__``, before a caller could set ``sim.controller``)
+_controller_factory: Callable[[], ScheduleController] | None = None
+
+
+@contextlib.contextmanager
+def use_controller(factory: Callable[[], ScheduleController]):
+    """Attach ``factory()``'s controller to every :class:`Simulator`
+    constructed inside the ``with`` block."""
+    global _controller_factory
+    prev = _controller_factory
+    _controller_factory = factory
+    try:
+        yield
+    finally:
+        _controller_factory = prev
 
 
 class EventHandle:
@@ -85,25 +144,46 @@ class Simulator:
         self._running = False
         #: cancelled events still sitting in the heap
         self._cancelled = 0
+        #: optional ScheduleController; when set, co-enabled events
+        #: (same time and priority) become explicit choice points
+        self.controller: ScheduleController | None = (
+            _controller_factory() if _controller_factory is not None else None
+        )
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
 
-    def call_at(self, time: float, callback: Callable[[], None], priority: int = 0) -> EventHandle:
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        *,
+        label: str | None = None,
+        footprint: object = None,
+    ) -> EventHandle:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
-        ev = _Event(time, priority, next(self._seq), callback)
+        ev = _Event(time, priority, next(self._seq), callback, label=label, footprint=footprint)
         heapq.heappush(self._queue, ev)
         return EventHandle(ev, self)
 
-    def call_after(self, delay: float, callback: Callable[[], None], priority: int = 0) -> EventHandle:
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        *,
+        label: str | None = None,
+        footprint: object = None,
+    ) -> EventHandle:
         """Schedule ``callback`` after ``delay`` simulated time units."""
         if delay < 0:
             raise ValueError("negative delay")
-        return self.call_at(self._now + delay, callback, priority)
+        return self.call_at(self._now + delay, callback, priority, label=label, footprint=footprint)
 
     # -- lazy-cancellation bookkeeping --------------------------------------
 
@@ -133,6 +213,8 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
+        if self.controller is not None:
+            return self._step_controlled()
         while self._queue:
             ev = heapq.heappop(self._queue)
             ev.in_heap = False
@@ -143,6 +225,38 @@ class Simulator:
             ev.callback()
             return True
         return False
+
+    def _step_controlled(self) -> bool:
+        """One step in controlled mode: gather the co-enabled set (all
+        live events sharing the minimal ``(time, priority)``), let the
+        controller pick one, and re-queue the rest untouched.  Priority
+        bounds the set because priorities encode runtime-*internal*
+        ordering constraints (strand pumps run before deliveries), not
+        logical concurrency."""
+        if self.peek_time() is None:  # also drains cancelled heads
+            return False
+        group: list[_Event] = []
+        t0 = p0 = None
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue).in_heap = False
+                self._cancelled -= 1
+                continue
+            if t0 is None:
+                t0, p0 = head.time, head.priority
+            elif head.time != t0 or head.priority != p0:
+                break
+            group.append(heapq.heappop(self._queue))
+            group[-1].in_heap = False
+        idx = self.controller.choose(t0, group) if len(group) > 1 else 0
+        ev = group.pop(idx)
+        for e in group:  # unchosen events keep their seq → stable order
+            e.in_heap = True
+            heapq.heappush(self._queue, e)
+        self._now = t0
+        ev.callback()
+        return True
 
     def run_until(self, time: float) -> None:
         """Run events up to and including simulated ``time``."""

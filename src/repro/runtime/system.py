@@ -49,6 +49,7 @@ from ..core.formula import TRUE, UNKNOWN, evaluate
 from ..core.validate import validate_closed_junction
 from ..serde.framing import Serializer
 from ..analysis.capture import note_program
+from ..semantics.commute import Footprint, node_token
 from ..telemetry import Telemetry
 from ..telemetry.facade import note_system
 from .channels import Message, Network
@@ -416,7 +417,12 @@ class System:
         causal parent of the resulting ``attempt`` event."""
         if cause is None:
             cause = self._attempt_cause
-        self.sim.call_after(0.0, lambda: self.attempt_schedule(jr, cause=cause))
+        self.sim.call_after(
+            0.0,
+            lambda: self.attempt_schedule(jr, cause=cause),
+            label=f"attempt:{jr.node}",
+            footprint=Footprint.make(writes=[node_token(jr.node)]),
+        )
 
     def attempt_schedule(self, jr: JunctionRuntime, cause: int | None = None) -> bool:
         """Apply pending updates, check the guard, and run if it holds."""

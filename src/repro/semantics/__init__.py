@@ -1,5 +1,6 @@
 """Formal event-structure semantics of the C-Saw DSL (paper sec. 8)."""
 
+from .commute import Footprint, commutes, conflicts, footprint_of, key_token, node_token
 from .denote import Denoter, expand_waits
 from .events import (
     AdHoc,
@@ -29,6 +30,7 @@ __all__ = [
     "Event",
     "EventStructure",
     "FF",
+    "Footprint",
     "Label",
     "ProgramSemantics",
     "Rd",
@@ -41,13 +43,18 @@ __all__ = [
     "Unsched",
     "WaitL",
     "Wr",
+    "commutes",
+    "conflicts",
     "denote_program",
     "denote_startup",
     "expand_waits",
+    "footprint_of",
     "fresh_event",
     "immediate_causality",
     "isolate_event",
+    "key_token",
     "minimal_conflicts",
+    "node_token",
     "to_dot",
     "to_text",
 ]

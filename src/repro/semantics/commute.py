@@ -1,0 +1,137 @@
+"""The independence (commutation) relation induced by the semantics.
+
+Section 8's event-structure semantics orders events by causality and
+conflict; two events with neither relation are *concurrent*, and the
+paper's reading of concurrency is exactly commutation: executing them
+in either order reaches the same state.  Operationally, two activities
+commute when the state they touch is disjoint — KV keys live in
+per-junction tables, so the unit of interference is the pair
+``(junction node, key)``, plus whole-node interference for activities
+(scheduling, strand wake-ups) whose effect on a junction is not
+key-local.
+
+This module exports that relation in a form both the static analyzer
+and the schedule-exploration harness (:mod:`repro.explore`) consume:
+
+* :class:`Footprint` — read/write sets over resource tokens
+  (``"node"`` for whole-junction effects, ``"node#key"`` for one key);
+* :func:`conflicts` / :func:`commutes` — the interference test, with
+  missing footprints treated conservatively as interfering;
+* :func:`footprint_of` — footprints of the formal semantic labels
+  (:class:`~repro.semantics.events.Wr`, ``Rd``, ``Sched``, …), so the
+  runtime relation provably refines the event-structure one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import (
+    AdHoc,
+    Label,
+    Rd,
+    Sched,
+    StartL,
+    StopL,
+    Synch,
+    Unsched,
+    WaitL,
+    Wr,
+)
+
+
+def node_token(node: str) -> str:
+    """A token interfering with *everything* at junction ``node``."""
+    return node
+
+
+def key_token(node: str, key: str) -> str:
+    """A token interfering only with ``key`` in ``node``'s table (and
+    with the whole-node token)."""
+    return f"{node}#{key}"
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Read/write sets of one schedulable activity.
+
+    Tokens are :func:`node_token` / :func:`key_token` strings.  An
+    empty footprint commutes with everything; ``None`` (no footprint
+    recorded) is treated by :func:`commutes` as interfering with
+    everything — unknown effects must not be reordered away.
+    """
+
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+
+    @staticmethod
+    def make(reads=(), writes=()) -> "Footprint":
+        return Footprint(frozenset(reads), frozenset(writes))
+
+    def __or__(self, other: "Footprint") -> "Footprint":
+        return Footprint(self.reads | other.reads, self.writes | other.writes)
+
+
+def _token_conflict(a: str, b: str) -> bool:
+    na, _, ka = a.partition("#")
+    nb, _, kb = b.partition("#")
+    if na != nb:
+        return False
+    # whole-node tokens (no key part) interfere with any token of the
+    # node; key tokens interfere only with the same key
+    return not ka or not kb or ka == kb
+
+
+def _sets_conflict(xs: frozenset, ys: frozenset) -> bool:
+    # token sets are small (1-3 entries); the quadratic scan beats
+    # building an index
+    for x in xs:
+        for y in ys:
+            if _token_conflict(x, y):
+                return True
+    return False
+
+
+def conflicts(a: Footprint, b: Footprint) -> bool:
+    """Write/write, write/read or read/write overlap between ``a`` and
+    ``b`` — the classic interference condition."""
+    return (
+        _sets_conflict(a.writes, b.writes)
+        or _sets_conflict(a.writes, b.reads)
+        or _sets_conflict(a.reads, b.writes)
+    )
+
+
+def commutes(a: Footprint | None, b: Footprint | None) -> bool:
+    """True iff the two activities provably reach the same state in
+    either order.  Unknown footprints never commute."""
+    if a is None or b is None:
+        return False
+    return not conflicts(a, b)
+
+
+def footprint_of(label: Label) -> Footprint | None:
+    """Footprint of a formal event-structure label (sec. 8.2 alphabet).
+
+    ``Wr`` writes its key in every listed table; ``Rd``/``Wait`` read;
+    scheduling, lifecycle and ad-hoc labels touch the whole junction
+    (their effect is not key-local).  Returns ``None`` for label kinds
+    with no defined footprint.
+    """
+    if isinstance(label, Wr):
+        return Footprint.make(writes=[key_token(j, label.key) for j in label.junctions])
+    if isinstance(label, Rd):
+        return Footprint.make(reads=[key_token(label.junction, label.key)])
+    if isinstance(label, WaitL):
+        return Footprint.make(reads=[key_token(label.junction, k) for k in label.keys])
+    if isinstance(label, Synch):
+        return Footprint.make(reads=[key_token(label.junction, k) for k in label.keys])
+    if isinstance(label, (Sched, Unsched)):
+        return Footprint.make(writes=[node_token(label.junction)])
+    if isinstance(label, (StartL, StopL)):
+        return Footprint.make(writes=[node_token(label.instance)])
+    if isinstance(label, AdHoc):
+        if label.junction:
+            return Footprint.make(writes=[node_token(label.junction)])
+        return None
+    return None

@@ -1,0 +1,172 @@
+"""Controlled-scheduler mode of the simulator + schedule controllers."""
+
+import random
+
+import pytest
+
+from repro.explore import RecordingController, Schedule, ScheduleDivergence
+from repro.runtime.sim import ScheduleController, Simulator, use_controller
+from repro.semantics.commute import Footprint
+
+
+def _sched(sim, order, t, name, priority=0, footprint=None):
+    sim.call_at(
+        t, lambda: order.append(name), priority, label=name, footprint=footprint
+    )
+
+
+class TestControlledStep:
+    def test_no_controller_is_untouched(self):
+        sim = Simulator()
+        order = []
+        _sched(sim, order, 1.0, "b")
+        _sched(sim, order, 1.0, "a")
+        sim.run()
+        assert order == ["b", "a"]  # insertion order
+
+    def test_base_controller_reproduces_default_order(self):
+        sim = Simulator()
+        sim.controller = ScheduleController()
+        order = []
+        _sched(sim, order, 1.0, "b")
+        _sched(sim, order, 1.0, "a")
+        _sched(sim, order, 2.0, "c")
+        sim.run()
+        assert order == ["b", "a", "c"]
+
+    def test_choice_points_only_for_coenabled_sets(self):
+        """Events at different times or priorities never form one
+        choice point (priorities encode runtime-internal ordering)."""
+        seen = []
+
+        class Spy(ScheduleController):
+            def choose(self, time, events):
+                seen.append([e.label for e in events])
+                return 0
+
+        sim = Simulator()
+        sim.controller = Spy()
+        order = []
+        _sched(sim, order, 1.0, "pump", priority=-1)
+        _sched(sim, order, 1.0, "d1")
+        _sched(sim, order, 1.0, "d2")
+        _sched(sim, order, 2.0, "later")
+        sim.run()
+        assert order == ["pump", "d1", "d2", "later"]
+        assert seen == [["d1", "d2"]]  # the only >1 co-enabled set
+
+    def test_controller_choice_reorders(self):
+        class PickLast(ScheduleController):
+            def choose(self, time, events):
+                return len(events) - 1
+
+        sim = Simulator()
+        sim.controller = PickLast()
+        order = []
+        for name in ("a", "b", "c"):
+            _sched(sim, order, 1.0, name)
+        sim.run()
+        # repeatedly picking the last of the co-enabled set
+        assert order == ["c", "b", "a"]
+
+    def test_cancelled_events_never_reach_controller(self):
+        seen = []
+
+        class Spy(ScheduleController):
+            def choose(self, time, events):
+                seen.append([e.label for e in events])
+                return 0
+
+        sim = Simulator()
+        sim.controller = Spy()
+        order = []
+        h = sim.call_at(1.0, lambda: order.append("dead"), label="dead")
+        _sched(sim, order, 1.0, "a")
+        _sched(sim, order, 1.0, "b")
+        h.cancel()
+        sim.run()
+        assert order == ["a", "b"]
+        assert seen == [["a", "b"]]
+
+    def test_use_controller_attaches_at_construction(self):
+        ctl = ScheduleController()
+        with use_controller(lambda: ctl):
+            sim = Simulator()
+        assert sim.controller is ctl
+        assert Simulator().controller is None  # outside the block
+
+
+class TestRecordingController:
+    def _run(self, prefix=(), tail="first", rng=None, expect=None):
+        ctl = RecordingController(
+            tuple(prefix), tail=tail, rng=rng, expect_labels=expect
+        )
+        sim = Simulator()
+        sim.controller = ctl
+        order = []
+        for name in ("a", "b", "c"):
+            _sched(sim, order, 1.0, name)
+        sim.run()
+        return ctl, order
+
+    def test_records_default_run(self):
+        ctl, order = self._run()
+        assert order == ["a", "b", "c"]
+        sched = ctl.schedule("unit")
+        assert sched.choices == [0, 0]  # the final singleton is no choice
+        assert sched.labels == ["a", "b"]
+
+    def test_prefix_replays(self):
+        ctl, order = self._run(prefix=(2, 1))
+        assert order == ["c", "b", "a"]
+
+    def test_out_of_range_prefix_diverges(self):
+        with pytest.raises(ScheduleDivergence):
+            self._run(prefix=(7,))
+
+    def test_label_mismatch_diverges(self):
+        with pytest.raises(ScheduleDivergence):
+            self._run(prefix=(0,), expect=["zzz"])
+
+    def test_label_match_passes(self):
+        ctl, order = self._run(prefix=(1,), expect=["b"])
+        assert order[0] == "b"
+
+    def test_random_tail_is_seed_deterministic(self):
+        _, o1 = self._run(tail="random", rng=random.Random(42))
+        _, o2 = self._run(tail="random", rng=random.Random(42))
+        assert o1 == o2
+
+    def test_random_tail_needs_rng(self):
+        with pytest.raises(ValueError):
+            RecordingController(tail="random")
+
+    def test_footprints_recorded(self):
+        ctl = RecordingController()
+        sim = Simulator()
+        sim.controller = ctl
+        fp = Footprint.make(writes=["n#k"])
+        sim.call_at(1.0, lambda: None, label="x", footprint=fp)
+        sim.call_at(1.0, lambda: None, label="y")
+        sim.run()
+        (cp,) = ctl.trace
+        assert cp.footprints == [fp, None]
+
+
+class TestScheduleSerialization:
+    def test_round_trip(self):
+        s = Schedule(choices=[0, 2, 1], labels=["a", None, "c"], scenario="t")
+        s2 = Schedule.loads(s.dumps())
+        assert s2.choices == s.choices
+        assert s2.labels == s.labels
+        assert s2.scenario == "t"
+        assert s2.schedule_id == s.schedule_id
+
+    def test_schedule_id_depends_on_choices(self):
+        a = Schedule(choices=[0, 1])
+        b = Schedule(choices=[1, 0])
+        assert a.schedule_id != b.schedule_id
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule.from_json({"version": 99})

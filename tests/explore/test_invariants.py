@@ -1,0 +1,166 @@
+"""Invariant layer: registry, built-ins, linearizability checker."""
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.explore import (
+    INVARIANTS,
+    Op,
+    check_invariants,
+    check_linearizable,
+    get_invariants,
+    register_invariant,
+)
+from repro.runtime.kvtable import Update
+from repro.runtime.system import System
+
+SRC = """
+instance_types { T }
+instances { x: T }
+def main() = start x()
+def T::junction() =
+  | init prop !P
+  | init prop !Never
+  | guard Never
+  skip
+"""
+
+
+def _system():
+    sys_ = System(compile_program(SRC))
+    sys_.start()
+    sys_.run_until(1.0)
+    return sys_
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("no-failures", "convergence", "at-most-once", "linearizable"):
+            assert name in INVARIANTS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_invariants(["definitely-not-registered"])
+
+    def test_user_registered_invariant_runs(self):
+        name = "test-only-flag-false"
+        try:
+
+            @register_invariant(name, "P must end false")
+            def _check(system, obs):
+                jr = system.junction("x::junction")
+                return [] if jr.table.values["P"] is False else ["P ended true"]
+
+            sys_ = _system()
+            assert check_invariants(sys_, {}, (name,)) == []
+            sys_.junction("x::junction").table.values["P"] = True
+            assert check_invariants(sys_, {}, (name,)) == [(name, "P ended true")]
+        finally:
+            INVARIANTS.pop(name, None)
+
+
+class TestBuiltins:
+    def test_clean_system_passes_all(self):
+        sys_ = _system()
+        names = ("no-failures", "convergence", "at-most-once")
+        assert check_invariants(sys_, {}, names) == []
+
+    def test_no_failures_reports(self):
+        sys_ = _system()
+        sys_.failures.append((0.5, "x::junction", RuntimeError("boom")))
+        out = check_invariants(sys_, {}, ("no-failures",))
+        assert len(out) == 1 and out[0][0] == "no-failures"
+        assert "boom" in out[0][1]
+
+    def test_convergence_flags_undrained_pending(self):
+        sys_ = _system()
+        jr = sys_.junction("x::junction")
+        jr.table.pending.append(Update(key="P", value=True, src="ghost"))
+        out = check_invariants(sys_, {}, ("convergence",))
+        assert len(out) == 1
+        assert "pending" in out[0][1]
+
+    def test_convergence_ignores_dead_instances(self):
+        sys_ = _system()
+        jr = sys_.junction("x::junction")
+        jr.table.pending.append(Update(key="P", value=True, src="ghost"))
+        sys_.crash_instance("x")
+        assert check_invariants(sys_, {}, ("convergence",)) == []
+
+    def test_at_most_once_flags_duplicate_applies(self):
+        sys_ = _system()
+        sys_.telemetry.emit("apply", "x::junction", key="P", msg_id=7)
+        assert check_invariants(sys_, {}, ("at-most-once",)) == []
+        sys_.telemetry.emit("apply", "x::junction", key="P", msg_id=7)
+        out = check_invariants(sys_, {}, ("at-most-once",))
+        assert len(out) == 1
+        assert "applied 2 times" in out[0][1]
+
+    def test_linearizable_uses_history_observation(self):
+        sys_ = _system()
+        good = [
+            Op("SET", "k", b"1", 0.0, 1.0),
+            Op("GET", "k", b"1", 2.0, 3.0),
+        ]
+        bad = [
+            Op("SET", "k", b"1", 0.0, 1.0),
+            Op("GET", "k", b"2", 2.0, 3.0),
+        ]
+        assert check_invariants(sys_, {"history": good}, ("linearizable",)) == []
+        out = check_invariants(sys_, {"history": bad}, ("linearizable",))
+        assert len(out) == 1
+        # vacuous without a history
+        assert check_invariants(sys_, {}, ("linearizable",)) == []
+
+
+class TestLinearize:
+    def test_empty_history(self):
+        assert check_linearizable([]) == []
+
+    def test_sequential_legal(self):
+        h = [
+            Op("SET", "k", 1, 0, 1),
+            Op("GET", "k", 1, 2, 3),
+            Op("SET", "k", 2, 4, 5),
+            Op("GET", "k", 2, 6, 7),
+        ]
+        assert check_linearizable(h) == []
+
+    def test_stale_read_illegal(self):
+        h = [
+            Op("SET", "k", 1, 0, 1),
+            Op("SET", "k", 2, 2, 3),
+            Op("GET", "k", 1, 4, 5),  # reads a value two writes back
+        ]
+        out = check_linearizable(h)
+        assert len(out) == 1 and "'k'" in out[0]
+
+    def test_concurrent_ops_may_reorder(self):
+        # GET overlaps both SETs: reading either value is linearizable
+        h = [
+            Op("SET", "k", 1, 0.0, 10.0),
+            Op("SET", "k", 2, 0.0, 10.0),
+            Op("GET", "k", 1, 0.0, 10.0),
+        ]
+        assert check_linearizable(h) == []
+        h2 = [op if op.kind == "SET" else Op("GET", "k", 2, 0.0, 10.0) for op in h]
+        assert check_linearizable(h2) == []
+
+    def test_initial_value_read(self):
+        assert check_linearizable([Op("GET", "k", None, 0, 1)]) == []
+        assert check_linearizable([Op("GET", "k", 9, 0, 1)]) != []
+
+    def test_keys_checked_independently(self):
+        h = [
+            Op("SET", "a", 1, 0, 1),
+            Op("GET", "b", 7, 2, 3),  # b never written: illegal
+        ]
+        out = check_linearizable(h)
+        assert len(out) == 1 and "'b'" in out[0]
+
+    def test_failed_ops_excluded(self):
+        h = [
+            Op("SET", "k", 9, 0, 1, ok=False),  # failed SET took no effect
+            Op("GET", "k", None, 2, 3),
+        ]
+        assert check_linearizable(h) == []

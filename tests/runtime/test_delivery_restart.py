@@ -1,0 +1,89 @@
+"""Regression: retransmissions vs stopped/restarted destinations.
+
+The reliable-delivery layer retransmits updates whose ack was lost.
+If the destination instance is stopped and restarted mid-flight, the
+restarted junction gets a fresh KV table — but the msg-id dedup window
+must carry over: it is transport state, and without it a
+retransmission of an update the previous incarnation already applied
+(and whose ack the network dropped) re-applies into the fresh window,
+breaking exactly-once application.
+"""
+
+from collections import Counter
+
+from repro.core.compiler import compile_program
+from repro.runtime.system import System
+
+SRC = """
+instance_types { S, R }
+instances { s: S, r: R }
+def main() = start s() + start r()
+def S::junction() =
+  | init prop Go
+  | init prop !P
+  | guard Go
+  retract[] Go;
+  assert[r::junction] P
+def R::junction() =
+  | init prop !P
+  | init prop !Never
+  | guard Never
+  skip
+"""
+
+
+def _apply_counts(sys_):
+    return Counter(
+        (e.node, e.attrs["msg_id"])
+        for e in sys_.telemetry.events
+        if e.kind == "apply"
+    )
+
+
+class TestDedupSurvivesRestart:
+    def _run_lost_ack_restart(self):
+        sys_ = System(compile_program(SRC))
+        # every ack r -> s is lost, so the sender keeps retransmitting
+        sys_.network.set_link_loss("r", "s", 1.0)
+        sys_.start()
+        sys_.run_until(0.2)  # first delivery applied at r, ack dropped
+        assert _apply_counts(sys_)[("r::junction", 1)] == 1
+        sys_.crash_instance("r")
+        sys_.restart_instance("r")  # fresh junction state
+        sys_.network.set_link_loss("r", "s", None)
+        sys_.run_until(5.0)  # retransmission now reaches r and is acked
+        return sys_
+
+    def test_retransmission_never_reapplies_after_restart(self):
+        sys_ = self._run_lost_ack_restart()
+        dups = {k: n for k, n in _apply_counts(sys_).items() if n > 1}
+        assert dups == {}, f"duplicate applies after restart: {dups}"
+
+    def test_retransmission_is_deduped_and_acked(self):
+        sys_ = self._run_lost_ack_restart()
+        dedups = [e for e in sys_.telemetry.events if e.kind == "dedup"]
+        assert [(e.node, e.attrs["msg_id"]) for e in dedups] == [("r::junction", 1)]
+        # the ack finally got through: nothing outstanding, no failures
+        assert sys_.delivery.outstanding == {}
+        assert sys_.failures == []
+
+    def test_values_still_reset_on_restart(self):
+        """Only the dedup window carries over — junction *state* resets."""
+        sys_ = self._run_lost_ack_restart()
+        jr = sys_.junction("r::junction")
+        # P was re-declared false by init_state; the retransmission was
+        # suppressed, so it must NOT have re-applied P=true
+        assert jr.table.values["P"] is False
+
+    def test_timer_noop_while_destination_stopped(self):
+        """Retransmissions into a stopped (never restarted) instance
+        drop at the transport and exhaust cleanly at the sender."""
+        sys_ = System(compile_program(SRC))
+        sys_.network.set_link_loss("r", "s", 1.0)
+        sys_.start()
+        sys_.run_until(0.2)
+        sys_.crash_instance("r")
+        sys_.run_until(60.0)  # all retransmission attempts exhaust
+        assert sys_.delivery.outstanding == {}
+        # the stopped junction saw exactly the one pre-crash apply
+        assert _apply_counts(sys_)[("r::junction", 1)] == 1

@@ -1,19 +1,26 @@
 """Property-based serde tests: random schemas/values round-trip, and
 generated code always agrees with the interpreted codec."""
 
+import copy
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.errors import SerdeError
 from repro.serde import (
     Array,
     CString,
     Pointer,
     Primitive,
+    SavedData,
+    Serializer,
     SizedBuffer,
     TypeRegistry,
     decode_generic,
     encode_generic,
     generate_module,
+    leaf_paths,
     load_generated,
 )
 from repro.serde.traverse import Decoder, Encoder
@@ -116,6 +123,93 @@ def struct_schema(draw):
         value[f"f{i}"] = v
     reg.struct("rec", **fields)
     return reg, value
+
+
+# -- framing robustness ------------------------------------------------------
+#
+# A receiver must never see a *different* value out of a damaged frame:
+# every strict prefix and every garbage-suffixed frame decodes to a
+# SerdeError, not to garbage and not to an arbitrary exception.
+
+@given(json_like, st.integers(min_value=0))
+@settings(max_examples=200)
+def test_truncated_frames_raise_serde_error(value, cut):
+    blob = encode_generic(value)
+    prefix = blob[: cut % len(blob)]  # every blob has >= 1 tag byte
+    with pytest.raises(SerdeError):
+        decode_generic(prefix)
+
+
+@given(json_like, st.binary(min_size=1, max_size=8))
+@settings(max_examples=200)
+def test_garbage_suffix_raises_serde_error(value, garbage):
+    with pytest.raises(SerdeError):
+        decode_generic(encode_generic(value) + garbage)
+
+
+@given(json_like)
+@settings(max_examples=100)
+def test_serializer_saveddata_roundtrip(value):
+    ser = Serializer()
+    saved = ser.encode(None, value)
+    assert saved.schema is None
+    assert len(saved) == len(saved.blob)
+    assert ser.decode(saved) == value
+
+
+@given(json_like, st.integers(min_value=0))
+@settings(max_examples=100)
+def test_serializer_rejects_truncated_saveddata(value, cut):
+    ser = Serializer()
+    blob = ser.encode(None, value).blob
+    with pytest.raises(SerdeError):
+        ser.decode(SavedData(None, blob[: cut % len(blob)]))
+
+
+# -- codegen stability across equivalent models -------------------------------
+#
+# Generated codecs are persisted artifacts: two structurally equal
+# registries (independently constructed, extra unrelated types, any
+# registration order) must generate byte-identical modules, and the
+# traversal must report the same leaf paths.
+
+def _rebuild(reg):
+    """An independently-constructed registry equal to ``reg``'s rec."""
+    clone = TypeRegistry()
+    fields = {f.name: copy.deepcopy(f.type) for f in reg.get("rec").fields}
+    clone.struct("rec", **fields)
+    return clone
+
+
+@given(struct_schema())
+@settings(max_examples=50)
+def test_codegen_stable_across_equivalent_models(rv):
+    reg, value = rv
+    clone = _rebuild(reg)
+    src = generate_module(reg, "rec")
+    assert generate_module(clone, "rec") == src
+    # and the two generated codecs agree on the same value
+    enc = load_generated(src)["encode_rec"](value)
+    assert load_generated(generate_module(clone, "rec"))["encode_rec"](value) == enc
+
+
+@given(struct_schema())
+@settings(max_examples=50)
+def test_codegen_ignores_unrelated_registrations(rv):
+    reg, _value = rv
+    src = generate_module(reg, "rec")
+    reg.struct("unrelated", pad=Primitive("uint32"))
+    assert generate_module(reg, "rec") == src
+
+
+@given(struct_schema())
+@settings(max_examples=50)
+def test_traversal_stable_across_equivalent_models(rv):
+    reg, value = rv
+    paths = list(leaf_paths(reg, "rec", value))
+    assert list(leaf_paths(_rebuild(reg), "rec", value)) == paths
+    # deterministic: repeated traversal of the same model/value agrees
+    assert list(leaf_paths(reg, "rec", value)) == paths
 
 
 @given(struct_schema())
