@@ -16,9 +16,11 @@ The surface covers the four things an embedding application touches:
 
 * **the DSL** — ``parse_program`` / ``compile_program`` plus the
   packaged paper architectures via ``load_program`` / ``ARCHITECTURES``;
-* **the runtime** — ``System``, its ``Simulator`` clock, and the
-  delivery/fault knobs (``DeliveryPolicy``, ``FaultPlan``,
-  ``ChaosConfig`` / ``ChaosEngine`` / ``SoakHarness``);
+* **the runtime** — ``System``, the pluggable execution engines
+  (``SimEngine`` / ``RealtimeEngine`` via ``create_engine`` /
+  ``default_engine``; see ``docs/RUNTIME.md``), the ``Simulator``
+  clock, and the delivery/fault knobs (``DeliveryPolicy``,
+  ``FaultPlan``, ``ChaosConfig`` / ``ChaosEngine`` / ``SoakHarness``);
 * **observability** — the ``Telemetry`` facade (``system.telemetry``)
   and its metric/exporter types; see ``docs/OBSERVABILITY.md``;
 * **errors** — the ``CSawError`` hierarchy root and the failure types
@@ -35,11 +37,16 @@ from .runtime import (
     ChaosConfig,
     ChaosEngine,
     DeliveryPolicy,
+    ExecutionEngine,
     FaultPlan,
     HostContext,
+    RealtimeEngine,
+    SimEngine,
     Simulator,
     SoakHarness,
     System,
+    create_engine,
+    default_engine,
 )
 from .telemetry import (
     MetricsRegistry,
@@ -62,11 +69,16 @@ __all__ = [
     "ChaosConfig",
     "ChaosEngine",
     "DeliveryPolicy",
+    "ExecutionEngine",
     "FaultPlan",
     "HostContext",
+    "RealtimeEngine",
+    "SimEngine",
     "Simulator",
     "SoakHarness",
     "System",
+    "create_engine",
+    "default_engine",
     # observability
     "MetricsRegistry",
     "RingBufferSink",

@@ -309,6 +309,90 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _stub_bindings(system) -> list[str]:
+    """Bind no-op host functions and empty state providers for every
+    unbound ⌊H⌉ block / save schema, so a bare ``.csaw`` architecture
+    runs to completion without an embedding application."""
+    from .core import ast as A
+    from .runtime.instance import StateProviders
+
+    stubbed: list[str] = []
+    for tname, trt in sorted(system.types.items()):
+        declared: set[str] = set()
+        for cj in trt.junctions.values():
+            for e in A.walk(cj.body):
+                if isinstance(e, A.HostBlock):
+                    declared.add(e.name)
+        for name in sorted(declared - set(trt.host_fns)):
+            trt.bind_host(name, lambda ctx: None)
+            stubbed.append(f"{tname}.{name}")
+        if trt.state.save is None:
+            trt.state = StateProviders(
+                save=lambda app, inst: {},
+                restore=lambda app, inst, obj: None,
+            )
+    return stubbed
+
+
+def cmd_run(args) -> int:
+    import time as _time
+
+    from .explore.scenarios import _ARCH_SCENARIOS, arch_scenario
+    from .runtime.engine import create_engine, default_engine
+
+    kw = {}
+    if args.engine != "sim":
+        kw["time_scale"] = args.time_scale
+    factory = lambda: create_engine(args.engine, **kw)  # noqa: E731
+
+    wall0 = _time.perf_counter()
+    if args.file in _ARCH_SCENARIOS:
+        # shipped architecture: the exploration scenario provides the
+        # host bindings and a deterministic workload
+        sc = arch_scenario(args.file)
+        if args.until is not None:
+            sc.horizon = args.until
+        with default_engine(factory):
+            system = sc.run()
+    else:
+        from .arch.loader import expand_placeholders
+        from .core.compiler import compile_program
+        from .runtime.system import System
+
+        text = Path(args.file).read_text()
+        if "@BACKENDS@" in text:
+            text = expand_placeholders(text)
+        prog = compile_program(text, config=_parse_config(args.config))
+        system = System(prog, engine=factory())
+        stubbed = _stub_bindings(system)
+        if stubbed:
+            print(f"stubbed host bindings: {', '.join(stubbed)}", file=sys.stderr)
+        main_args = {}
+        if prog.main is not None:
+            env = prog.config_env()
+            main_args = {p: 1.0 for p in prog.main.params if p not in env}
+        if main_args:
+            print(
+                f"defaulted main parameter(s) to 1.0: {sorted(main_args)}",
+                file=sys.stderr,
+            )
+        system.start(**main_args)
+        system.run_until(args.until if args.until is not None else 30.0)
+    wall = _time.perf_counter() - wall0
+
+    sent = int(system.telemetry.metrics.sum("net_sent"))
+    delivered = int(system.telemetry.metrics.sum("net_delivered"))
+    print(
+        f"{args.file}: engine={system.engine.name} t={system.now:.3f} "
+        f"sent={sent} delivered={delivered} wall={wall:.2f}s "
+        f"failures={len(system.failures)}"
+    )
+    for t, node, exc in system.failures:
+        print(f"  failure at t={t:.3f} in {node}: {exc!r}", file=sys.stderr)
+    system.shutdown()
+    return 1 if system.failures else 0
+
+
 def _explore_scenario(args):
     from .explore import resolve_scenario
 
@@ -508,6 +592,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--out", help="write to this file instead of stdout")
     sp.set_defaults(fn=cmd_trace)
+
+    sp = sub.add_parser(
+        "run", help="execute an architecture on a chosen execution engine"
+    )
+    sp.add_argument(
+        "file",
+        help="a shipped architecture name (driven by its exploration "
+             "workload) or a .csaw file (unbound host blocks are stubbed)",
+    )
+    sp.add_argument(
+        "--config", action="append", default=[], metavar="NAME=VALUE",
+        help="load-time configuration (for .csaw files); repeatable",
+    )
+    sp.add_argument(
+        "--engine", choices=("sim", "realtime", "realtime-tcp"), default="sim",
+        help="execution engine: deterministic simulation, asyncio wall-clock "
+             "with in-process channels, or asyncio with TCP loopback "
+             "channels (default: sim)",
+    )
+    sp.add_argument(
+        "--until", type=float, default=None,
+        help="logical-seconds horizon (default: the scenario's own, or 30)",
+    )
+    sp.add_argument(
+        "--time-scale", type=float, default=0.05,
+        help="realtime engines: wall seconds per logical second "
+             "(default: 0.05 — 20x compression)",
+    )
+    sp.set_defaults(fn=cmd_run)
 
     sp = sub.add_parser(
         "explore",

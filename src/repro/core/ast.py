@@ -695,7 +695,8 @@ def children(e: Expr):
         yield e.handler
     elif isinstance(e, Case):
         for arm in e.arms:
-            yield arm.body
+            # pre-expansion arms may be ForArm templates wrapping the arm
+            yield arm.arm.body if isinstance(arm, ForArm) else arm.body
         yield e.otherwise
     elif isinstance(e, If):
         yield e.then

@@ -1,6 +1,8 @@
 """Schedule controllers: record, replay and randomize interleavings.
 
-The simulator consults its :class:`~repro.runtime.sim.ScheduleController`
+Controlled scheduling is an engine capability (sim-engine only — see
+:mod:`repro.runtime.engine`): the simulator clock consults its
+:class:`~repro.runtime.engine.ScheduleController`
 whenever more than one event is co-enabled (same time and priority).
 :class:`RecordingController` implements the three behaviours the
 exploration harness needs on top of that hook:
@@ -20,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..runtime.sim import ScheduleController
+from ..runtime.engine import ScheduleController
 from .schedule import Schedule
 
 

@@ -36,7 +36,7 @@ import random
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..runtime.sim import use_controller
+from ..runtime.engine import use_controller
 from ..semantics.commute import commutes
 from .controller import ChoicePoint, RecordingController
 from .invariants import check_invariants

@@ -269,13 +269,13 @@ class _CheckpointingScenario(Scenario):
     def run(self) -> System:
         from ..arch.checkpointing import CheckpointedService
         from ..redislite import Command, DirectPort, RedisServer
-        from ..runtime.sim import Simulator
 
-        sim = Simulator()
         server = RedisServer()
         ref = {}
-        svc = CheckpointedService(server, stall=lambda d: ref["p"].stall(d), sim=sim)
-        ref["p"] = DirectPort(sim, server)
+        svc = CheckpointedService(server, stall=lambda d: ref["p"].stall(d))
+        # the stall port shares the service's engine clock instead of
+        # deep-importing a Simulator of its own
+        ref["p"] = DirectPort(svc.system.clock, server)
         server.execute(Command("SET", "k", b"v"))
         svc.checkpoint_now()
         svc.system.run_until(svc.system.now + 5.0)

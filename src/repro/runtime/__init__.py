@@ -15,11 +15,18 @@ Public surface::
 from .channels import LinkConfig, Message, Network
 from .chaos import ChaosConfig, ChaosEngine, SoakHarness
 from .delivery import DeliveryPolicy, LinkHealth, ReliableDelivery
+from .engine import (
+    ExecutionEngine,
+    SimEngine,
+    create_engine,
+    default_engine,
+)
 from .faults import FaultPlan
 from .host import HostContext
 from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime, StateProviders
 from .interpreter import JunctionExecution
 from .kvtable import KVTable, UNDEF, Update
+from .realtime import RealtimeEngine
 from .sim import Simulator
 from .system import System
 
@@ -27,11 +34,16 @@ __all__ = [
     "ChaosConfig",
     "ChaosEngine",
     "DeliveryPolicy",
+    "ExecutionEngine",
     "FaultPlan",
     "HostContext",
     "LinkHealth",
+    "RealtimeEngine",
     "ReliableDelivery",
+    "SimEngine",
     "SoakHarness",
+    "create_engine",
+    "default_engine",
     "InstanceRuntime",
     "InstanceTypeRuntime",
     "JunctionExecution",

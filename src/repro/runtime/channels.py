@@ -21,6 +21,15 @@ by :mod:`repro.runtime.chaos`:
 * ``reorder_jitter`` — each delivery adds a uniform random extra
   latency in ``[0, reorder_jitter]``, so later messages can overtake
   earlier ones.
+
+The Network is engine-agnostic: link *policy* (latency resolution,
+loss, partitions, duplication, reordering) is decided here, on the
+engine's clock, and the resulting delivery is handed to the engine's
+:class:`~repro.runtime.engine.Transport`, which invokes
+:meth:`Network.dispatch` after the latency elapses — as a simulator
+timer, a wall-clock asyncio timer, or a framed TCP round trip.
+Because every fault knob lives on this side of the seam, chaos
+schedules behave identically under every engine.
 """
 
 from __future__ import annotations
@@ -30,10 +39,10 @@ from typing import TYPE_CHECKING, Callable
 
 from ..semantics.commute import Footprint, key_token
 from ..telemetry import MetricsRegistry
-from .sim import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..telemetry import Telemetry
+    from .engine import Clock, Transport
 
 
 @dataclass(frozen=True)
@@ -93,7 +102,7 @@ class Network:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: "Clock",
         *,
         default_latency: float = 0.05,
         intra_latency: float = 0.0005,
@@ -102,8 +111,17 @@ class Network:
         reorder_jitter: float = 0.0,
         rng=None,
         metrics: MetricsRegistry | None = None,
+        transport: "Transport | None" = None,
     ):
-        self.sim = sim
+        self.clock = clock
+        if transport is None:
+            # a bare Network (unit tests, direct control arms) defaults
+            # to in-process clock-timer delivery
+            from .engine import ClockTransport
+
+            transport = ClockTransport()
+            transport.bind(self, clock)
+        self.transport = transport
         self.default_latency = default_latency
         self.intra_latency = intra_latency
         self.drop_probability = drop_probability
@@ -120,6 +138,11 @@ class Network:
         #: trace; a bare Network (unit tests) leaves it None
         self.telemetry: "Telemetry | None" = None
         self._counters: dict[tuple, object] = {}
+
+    @property
+    def sim(self):
+        """Back-compat alias: the engine clock this network schedules on."""
+        return self.clock
 
     # -- wiring -------------------------------------------------------------
 
@@ -275,23 +298,6 @@ class Network:
         if self.reorder_jitter > 0.0 and self._rng is not None:
             latency += self._rng.uniform(0.0, self.reorder_jitter)
 
-        def deliver():
-            # Re-check reachability at delivery time: a crash (of either
-            # endpoint) or a partition during flight loses the message.
-            if (
-                dst_inst in self._down
-                or src_inst in self._down
-                or self.is_partitioned(src_inst, dst_inst)
-            ):
-                self._drop(msg, src_inst, dst_inst, "unreachable")
-                return
-            handler = self._endpoints.get(msg.dst)
-            if handler is None:
-                self._drop(msg, src_inst, dst_inst, "unregistered")
-                return
-            self.count("delivered", msg.kind, src_inst, dst_inst)
-            handler(msg)
-
         # label + footprint make the delivery a replayable, reorderable
         # choice for the exploration harness: an update touches the
         # destination key; an ack wakes the destination's waiting strand
@@ -302,7 +308,28 @@ class Network:
         else:
             label = f"deliver:{msg.kind}:{msg.src}->{msg.dst}:{msg.msg_id}"
             fp = Footprint.make(writes=[key_token(msg.dst, "__strand__")])
-        self.sim.call_after(latency, deliver, label=label, footprint=fp)
+        self.transport.deliver(msg, latency, self.dispatch, label=label, footprint=fp)
+
+    def dispatch(self, msg: Message) -> None:
+        """Receiver-side delivery, invoked by the transport once the
+        link latency has elapsed.  Re-checks reachability at delivery
+        time: a crash (of either endpoint) or a partition during flight
+        loses the message."""
+        src_inst = self._instance_of(msg.src)
+        dst_inst = self._instance_of(msg.dst)
+        if (
+            dst_inst in self._down
+            or src_inst in self._down
+            or self.is_partitioned(src_inst, dst_inst)
+        ):
+            self._drop(msg, src_inst, dst_inst, "unreachable")
+            return
+        handler = self._endpoints.get(msg.dst)
+        if handler is None:
+            self._drop(msg, src_inst, dst_inst, "unregistered")
+            return
+        self.count("delivered", msg.kind, src_inst, dst_inst)
+        handler(msg)
 
     def next_msg_id(self) -> int:
         self._msg_counter += 1

@@ -167,9 +167,9 @@ class ChaosEngine:
             except StartStopFailure:
                 # the architecture raced us (e.g. already restarted the
                 # instance) — chaos yields, the system won
-                self.skipped.append((self.system.sim.now, kind, detail))
+                self.skipped.append((self.system.clock.now, kind, detail))
 
-        self.system.sim.call_at(time, fire)
+        self.system.clock.call_at(time, fire)
 
 
 @dataclass
@@ -216,7 +216,7 @@ class SoakHarness:
             else:
                 detail = "returned falsy"
             if not ok:
-                v = Violation(self.system.sim.now, name, detail)
+                v = Violation(self.system.clock.now, name, detail)
                 found.append(v)
                 self.violations.append(v)
         return found
@@ -224,9 +224,9 @@ class SoakHarness:
     def run(self, until: float) -> list[Violation]:
         """Run the system to ``until`` with periodic invariant checks;
         returns all recorded violations."""
-        t = self.system.sim.now + self.check_interval
+        t = self.system.clock.now + self.check_interval
         while t < until:
-            self.system.sim.call_at(t, self.check_now)
+            self.system.clock.call_at(t, self.check_now)
             t += self.check_interval
         self.system.run_until(until)
         self.check_now()

@@ -144,7 +144,7 @@ class ReliableDelivery:
         dst_inst = net._instance_of(msg.dst)
         link = (src_inst, dst_inst)
         health = self.link_health(src_inst, dst_inst)
-        now = self.system.sim.now
+        now = self.system.clock.now
 
         if health.state == "open":
             if now - health.opened_at >= self.policy.breaker_cooldown:
@@ -179,7 +179,7 @@ class ReliableDelivery:
     def _arm_timer(self, pending: _Pending) -> None:
         delay = pending.timeout * (1.0 + self.policy.jitter * (2.0 * self._rng.random() - 1.0))
         msg = pending.msg
-        pending.handle = self.system.sim.call_after(
+        pending.handle = self.system.clock.call_after(
             delay,
             lambda mid=msg.msg_id: self._retransmit(mid),
             label=f"retransmit:{msg.src}->{msg.dst}:{msg.msg_id}",
@@ -213,7 +213,7 @@ class ReliableDelivery:
         msg = pending.msg
         del self.outstanding[msg.msg_id]
         health = self.link_health(*pending.link)
-        health.record_failure(self.system.sim.now, self.policy.breaker_threshold)
+        health.record_failure(self.system.clock.now, self.policy.breaker_threshold)
         self.system.network.count("delivery_failures", msg.kind, *pending.link)
         tel = self.system.telemetry
         tel.emit(

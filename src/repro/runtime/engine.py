@@ -1,0 +1,303 @@
+"""The pluggable execution engine: Clock / Transport / Executor.
+
+The runtime used to be welded to the deterministic discrete-event
+:class:`~repro.runtime.sim.Simulator`: ``system.py`` built one,
+``channels.py`` scheduled deliveries on it, ``delivery.py`` armed
+retransmission timers on it, and the interpreter pumped strands through
+it.  That coupling is factored into three backend interfaces here —
+mirroring how the paper's prototype separates libcompart's channel layer
+from the scheduling of component code:
+
+* :class:`Clock` — ``now`` plus timer scheduling (``call_at`` /
+  ``call_after`` returning cancellable handles) and the run loop
+  (``run_until`` / ``run``).  The deterministic ``Simulator`` *is* a
+  clock; the realtime backend maps logical seconds onto wall-clock
+  asyncio timers.
+* :class:`Transport` — carries a :class:`~repro.runtime.channels.Message`
+  from the sender to the receiving junction's dispatch function after a
+  link latency.  Loss, partitions, duplication and reordering stay in
+  :class:`~repro.runtime.channels.Network` (they are *policy*, shared by
+  every backend — which is what keeps chaos schedules engine-portable);
+  the transport is only the *mechanism* that moves the bytes.
+* :class:`Executor` — how host blocks (``⌊H⌉{V}``) run.  The inline
+  executor calls them synchronously on the runtime thread (the sim
+  behaviour); the realtime engine substitutes a thread pool and wakes
+  the strand when the call returns.
+
+An :class:`ExecutionEngine` bundles one of each.  :class:`SimEngine`
+wraps the existing simulator so the default behaviour — including
+byte-identical telemetry, chaos schedules and ``repro explore``
+replay — is unchanged; :class:`~repro.runtime.realtime.RealtimeEngine`
+(see :mod:`repro.runtime.realtime`) runs the same architectures on
+wall-clock time.
+
+Engine selection::
+
+    System(program, engine="realtime")          # by name
+    System(program, engine=RealtimeEngine())    # by instance
+    with default_engine(lambda: RealtimeEngine()):
+        FailoverRedis(...)                      # wrappers that build their
+                                                # own System inside __init__
+
+Controlled scheduling (the exploration harness) is an *engine
+capability*: only engines with ``supports_controlled_scheduling`` can
+honour a :func:`use_controller` scope, and :class:`System` refuses the
+combination otherwise instead of silently ignoring the controller.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Callable
+
+from .sim import EventHandle, ScheduleController, Simulator, use_controller
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channels import Message, Network
+    from .system import System
+
+__all__ = [
+    "Clock",
+    "ClockTransport",
+    "ExecutionEngine",
+    "Executor",
+    "InlineExecutor",
+    "ScheduleController",
+    "SimEngine",
+    "Transport",
+    "controller_pending",
+    "create_engine",
+    "default_engine",
+    "use_controller",
+]
+
+
+class Clock:
+    """Timer scheduling + the run loop.
+
+    The deterministic :class:`~repro.runtime.sim.Simulator` satisfies
+    this interface natively (this class documents the contract; engines
+    may duck-type).  ``label`` and ``footprint`` are schedule-replay
+    metadata — backends without controlled scheduling ignore them.
+    """
+
+    now: float = 0.0
+
+    def call_at(self, time: float, callback: Callable[[], None], priority: int = 0,
+                *, label: str | None = None, footprint: object = None) -> EventHandle:
+        raise NotImplementedError
+
+    def call_after(self, delay: float, callback: Callable[[], None], priority: int = 0,
+                   *, label: str | None = None, footprint: object = None) -> EventHandle:
+        raise NotImplementedError
+
+    def run_until(self, time: float) -> None:
+        raise NotImplementedError
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        raise NotImplementedError
+
+    def pending_events(self) -> int:
+        raise NotImplementedError
+
+
+class Transport:
+    """Moves messages between junction endpoints.
+
+    :meth:`deliver` receives the message, the link latency the
+    :class:`~repro.runtime.channels.Network` already resolved (loss and
+    partition policy have been applied by the caller), and the network's
+    ``dispatch`` function that performs receiver-side processing.  The
+    transport's job is to invoke ``dispatch(msg)`` on the engine's
+    runtime context after the latency has elapsed.
+
+    ``in_flight`` counts messages handed to the transport whose dispatch
+    has not run yet — part of the engine's quiescence accounting.
+    """
+
+    #: dispatch happens in-process on the runtime thread (no wire format)
+    inproc = True
+
+    def __init__(self):
+        self.in_flight = 0
+
+    def bind(self, network: "Network", clock: Clock) -> None:
+        self.network = network
+        self.clock = clock
+
+    def deliver(self, msg: "Message", latency: float,
+                dispatch: Callable[["Message"], None], *,
+                label: str | None = None, footprint: object = None) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class ClockTransport(Transport):
+    """The in-process transport: delivery is a clock timer.
+
+    Used by both the sim engine (simulated latency) and the realtime
+    engine's ``inproc`` mode (latency scaled onto wall time by the
+    realtime clock).  The timer carries the delivery's schedule label
+    and commute footprint, so exploration-mode replay sees exactly the
+    event stream previous releases produced.
+    """
+
+    def deliver(self, msg, latency, dispatch, *, label=None, footprint=None):
+        self.in_flight += 1
+
+        def fire(m=msg):
+            self.in_flight -= 1
+            dispatch(m)
+
+        self.clock.call_after(latency, fire, label=label, footprint=footprint)
+
+
+class Executor:
+    """How host blocks run.
+
+    ``inline`` executors run the host function synchronously inside the
+    strand (the interpreter never yields); others receive the function
+    via :meth:`invoke` and call ``done(exc)`` on the engine's runtime
+    context when it completes.  ``in_flight`` counts running host calls
+    for quiescence accounting.
+    """
+
+    inline = True
+    in_flight = 0
+
+    def invoke(self, fn: Callable, ctx, done: Callable[[BaseException | None], None]) -> None:
+        raise NotImplementedError("inline executors never receive invoke()")
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class InlineExecutor(Executor):
+    """Synchronous host execution on the runtime thread (sim default)."""
+
+
+class ExecutionEngine:
+    """One clock + transport + executor, attached to one System."""
+
+    name = "?"
+    supports_controlled_scheduling = False
+
+    def __init__(self, clock: Clock, transport: Transport, executor: Executor):
+        self.clock = clock
+        self.transport = transport
+        self.executor = executor
+        self.system: "System | None" = None
+
+    def attach(self, system: "System") -> None:
+        """Bind the engine to its system (wires the transport to the
+        network).  Called once, at the end of ``System.__init__``."""
+        self.system = system
+        self.transport.bind(system.network, self.clock)
+
+    # -- run loop -----------------------------------------------------------
+
+    def run_until(self, time: float) -> None:
+        self.clock.run_until(time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        self.clock.run(max_events)
+
+    def pending_work(self) -> int:
+        """Timers + in-flight messages + running host calls; zero means
+        the system is quiescent (nothing will happen without external
+        input)."""
+        return (
+            self.clock.pending_events()
+            + self.transport.in_flight
+            + self.executor.in_flight
+        )
+
+    def close(self) -> None:
+        """Release backend resources (threads, sockets, event loops).
+        Idempotent; a no-op for the sim engine."""
+        self.transport.close()
+        self.executor.close()
+
+
+class SimEngine(ExecutionEngine):
+    """The deterministic discrete-event backend (the default).
+
+    Wraps a :class:`~repro.runtime.sim.Simulator` — optionally a shared
+    one, so several systems can run on one timeline exactly as the
+    ``System(sim=...)`` parameter always allowed.
+    """
+
+    name = "sim"
+    supports_controlled_scheduling = True
+
+    def __init__(self, sim: Simulator | None = None):
+        super().__init__(sim if sim is not None else Simulator(), ClockTransport(), InlineExecutor())
+
+    @property
+    def sim(self) -> Simulator:
+        return self.clock
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+#: engine specs accepted by ``create_engine`` / ``System(engine=...)`` /
+#: ``repro run --engine``
+ENGINE_NAMES = ("sim", "realtime", "realtime-tcp")
+
+
+def create_engine(spec: str, **kw) -> ExecutionEngine:
+    """Build an engine from its name: ``sim``, ``realtime`` (asyncio +
+    in-process channels) or ``realtime-tcp`` (asyncio + TCP loopback
+    channels).  Keyword arguments pass through to the engine
+    constructor (e.g. ``time_scale`` for the realtime backends)."""
+    if spec == "sim":
+        return SimEngine(**kw)
+    if spec in ("realtime", "realtime-inproc"):
+        from .realtime import RealtimeEngine
+
+        return RealtimeEngine(**kw)
+    if spec == "realtime-tcp":
+        from .realtime import RealtimeEngine
+
+        return RealtimeEngine(transport="tcp", **kw)
+    raise ValueError(f"unknown engine {spec!r} (expected one of {ENGINE_NAMES})")
+
+
+#: factory consulted by ``System.__init__`` when no explicit engine (or
+#: sim) is passed — the engine-level analogue of ``use_controller``,
+#: needed because architecture wrappers build and start their System
+#: inside ``__init__``, before a caller could hand one in
+_engine_factory: Callable[[], ExecutionEngine] | None = None
+
+
+@contextlib.contextmanager
+def default_engine(factory: Callable[[], ExecutionEngine]):
+    """Make every :class:`System` constructed inside the ``with`` block
+    default to ``factory()``'s engine (one fresh engine per system)::
+
+        with default_engine(lambda: RealtimeEngine(time_scale=0.05)):
+            svc = FailoverRedis(seed=7)
+    """
+    global _engine_factory
+    prev = _engine_factory
+    _engine_factory = factory
+    try:
+        yield
+    finally:
+        _engine_factory = prev
+
+
+def _default_engine_factory() -> Callable[[], ExecutionEngine] | None:
+    return _engine_factory
+
+
+def controller_pending() -> bool:
+    """True when a :func:`use_controller` scope is active (the next
+    Simulator built will attach a schedule controller)."""
+    from . import sim as _sim
+
+    return _sim._controller_factory is not None

@@ -25,11 +25,24 @@ if TYPE_CHECKING:  # pragma: no cover
 class HostContext:
     """What a host block sees of its junction."""
 
-    def __init__(self, system: "System", junction: "JunctionRuntime", writes: tuple[str, ...]):
+    def __init__(
+        self,
+        system: "System",
+        junction: "JunctionRuntime",
+        writes: tuple[str, ...],
+        defer_writes: bool = False,
+    ):
         self._system = system
         self._junction = junction
         self._writes = frozenset(writes)
         self._elapsed = 0.0
+        #: engine-executor mode: the host function runs off the runtime
+        #: thread, so writes are buffered here (reads see them through
+        #: an overlay) and applied on the runtime thread when the call
+        #: completes — the KV table is never touched cross-thread
+        self._defer = defer_writes
+        self._deferred: list[tuple[str, object]] = []
+        self._overlay: dict[str, object] = {}
 
     # -- identity ----------------------------------------------------------
 
@@ -49,7 +62,7 @@ class HostContext:
 
     @property
     def now(self) -> float:
-        return self._system.sim.now
+        return self._system.clock.now
 
     @property
     def params(self) -> dict:
@@ -59,6 +72,9 @@ class HostContext:
     # -- junction state -----------------------------------------------------
 
     def get(self, key: str, default=None):
+        if self._defer and key in self._overlay:
+            v = self._overlay[key]
+            return default if v is UNDEF else v
         table = self._junction.table
         if table.has(key):
             v = table.values[key]
@@ -89,6 +105,24 @@ class HostContext:
                     f"{sorted(self._writes)}"
                 )
             self._warn_contract(key)
+        if self._defer:
+            self._deferred.append((key, value))
+            self._overlay[key] = value
+            return
+        self._apply(key, value)
+
+    def apply_deferred_writes(self) -> None:
+        """Apply buffered writes in program order — called on the
+        runtime thread by the engine executor's completion callback.
+        Validation errors (unknown state, non-bool propositions, idx
+        membership) surface here and fail the strand exactly as the
+        inline path would have."""
+        writes, self._deferred = self._deferred, []
+        self._overlay.clear()
+        for key, value in writes:
+            self._apply(key, value)
+
+    def _apply(self, key: str, value) -> None:
         jr = self._junction
         if key in jr.idx_names:
             self._set_idx(key, value)

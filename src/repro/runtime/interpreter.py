@@ -89,6 +89,8 @@ class Blocked:
       * ``'ack'``   — fields: msg_id
       * ``'sleep'`` — fields: duration
       * ``'join'``  — fields: children (list of Strand)
+      * ``'host'``  — fields: fn, ctx, name (engine-executor host call;
+        only emitted when the engine's executor is not inline)
     """
 
     kind: str
@@ -97,6 +99,9 @@ class Blocked:
     msg_id: int = 0
     duration: float = 0.0
     children: list = field(default_factory=list)
+    fn: object = None
+    ctx: object = None
+    name: str = ""
 
 
 class _DeadlineScope:
@@ -209,7 +214,7 @@ class JunctionExecution:
         self.jr.sched_count += 1
         tel = self.system.telemetry
         tel.counter("junction_scheds", node=self.jr.node).inc()
-        self._sched_at = self.system.sim.now
+        self._sched_at = self.system.clock.now
         self.sched_event = tel.emit("sched", self.jr.node, parent=self.parent_event)
         self.root = self._spawn(self._root_gen(), parent=None)
         self._pump()
@@ -247,7 +252,7 @@ class JunctionExecution:
         if self._pump_scheduled or self.finished:
             return
         self._pump_scheduled = True
-        self.system.sim.call_after(
+        self.system.clock.call_after(
             0.0,
             self._pump_cb,
             priority=-1,
@@ -319,7 +324,7 @@ class JunctionExecution:
         if req.kind == "sleep":
             strand.state = "blocked"
             strand.block = req
-            strand.sleep_handle = self.system.sim.call_after(
+            strand.sleep_handle = self.system.clock.call_after(
                 req.duration,
                 lambda s=strand: self._wake(s),
                 label=f"sleep-wake:{self.jr.node}",
@@ -330,6 +335,31 @@ class JunctionExecution:
             strand.state = "blocked"
             strand.block = req
             # children were spawned by exec side; just wait
+            return
+        if req.kind == "host":
+            strand.state = "blocked"
+            strand.block = req
+
+            def done(exc: BaseException | None, s=strand, r=req):
+                # runs on the runtime thread; the strand may have been
+                # cancelled (crash / stop / deadline) while the host
+                # call was off-thread — its completion is then dropped
+                if self.finished or s.state != "blocked" or s.block is not r:
+                    return
+                if exc is None:
+                    try:
+                        r.ctx.apply_deferred_writes()
+                    except BaseException as werr:
+                        exc = werr
+                if exc is not None and not isinstance(exc, DslFailure):
+                    wrapped = HostError(
+                        f"{self.jr.node}: host block {r.name!r} raised {exc!r}"
+                    )
+                    wrapped.__cause__ = exc
+                    exc = wrapped
+                self._wake(s, throw=exc)
+
+            self.system.engine.executor.invoke(req.fn, req.ctx, done)
             return
         raise RuntimeError(f"unknown block request {req.kind!r}")
 
@@ -424,7 +454,7 @@ class JunctionExecution:
     def _emit_unsched(self, outcome: str | None, exc: BaseException | None) -> None:
         tel = self.system.telemetry
         tel.histogram("junction_execution_seconds", node=self.jr.node).observe(
-            self.system.sim.now - self._sched_at
+            self.system.clock.now - self._sched_at
         )
         tel.counter("junction_unscheds", node=self.jr.node, outcome=outcome or "?").inc()
         tel.emit(
@@ -588,15 +618,26 @@ class JunctionExecution:
         fn = self.jr.instance.type.host_fns.get(e.name)
         if fn is None:
             raise HostError(f"{self.jr.node}: no host binding for {e.name!r}")
-        ctx = HostContext(self.system, self.jr, e.writes)
-        try:
-            fn(ctx)
-        except DslFailure:
-            raise
-        except Exception as exc:
-            err = HostError(f"{self.jr.node}: host block {e.name!r} raised {exc!r}")
-            err.__cause__ = exc
-            raise err from exc
+        if self.system.engine.executor.inline:
+            # the sim path: run synchronously inside the strand.  This
+            # branch must stay exactly as it always was — any extra
+            # yield would reorder the pump and break schedule replay.
+            ctx = HostContext(self.system, self.jr, e.writes)
+            try:
+                fn(ctx)
+            except DslFailure:
+                raise
+            except Exception as exc:
+                err = HostError(f"{self.jr.node}: host block {e.name!r} raised {exc!r}")
+                err.__cause__ = exc
+                raise err from exc
+        else:
+            # engine-executor path (realtime thread pool): the strand
+            # parks while the host function runs off the runtime thread;
+            # writes are deferred into the context and applied on the
+            # runtime thread at completion (see HostContext.defer_writes)
+            ctx = HostContext(self.system, self.jr, e.writes, defer_writes=True)
+            yield Blocked("host", fn=fn, ctx=ctx, name=e.name)
         if ctx.elapsed > 0:
             yield Blocked("sleep", duration=ctx.elapsed)
 
@@ -743,9 +784,9 @@ class JunctionExecution:
         strand = self._current
         scope = None
         if e.timeout is not None:
-            deadline = self.system.sim.now + self.eval_arg_number(e.timeout)
+            deadline = self.system.clock.now + self.eval_arg_number(e.timeout)
             scope = _DeadlineScope(strand, deadline)
-            scope.handle = self.system.sim.call_at(
+            scope.handle = self.system.clock.call_at(
                 deadline,
                 lambda sc=scope: self._deadline_fired(sc),
                 label=f"deadline:{self.jr.node}",

@@ -1,0 +1,334 @@
+"""The realtime execution engine: asyncio timers, real transports,
+thread-pool host execution.
+
+Where :class:`~repro.runtime.engine.SimEngine` advances a logical clock
+event-by-event, :class:`RealtimeEngine` maps logical seconds onto the
+wall clock of a private asyncio event loop:
+
+* :class:`RealtimeClock` — ``wall = t0 + logical * time_scale``.  A
+  ``time_scale`` below 1.0 compresses time (``0.05`` runs a 20-logical-
+  second workload in about one wall second), which is how the parity
+  suite keeps realtime runs cheap.  Timers become ``loop.call_at``
+  callbacks; schedule labels/footprints are accepted and ignored (there
+  is no controlled scheduling on a wall clock).
+* transports — ``inproc`` reuses the shared
+  :class:`~repro.runtime.engine.ClockTransport` (delivery is a scaled
+  wall-clock timer); :class:`TcpTransport` pushes every message over a
+  loopback TCP socket using libcompart-style length-prefixed frames
+  (see :mod:`repro.runtime.wire`), exercising real serialization and
+  kernel scheduling.
+* :class:`ThreadPoolHostExecutor` — host blocks (``⌊H⌉{V}``) run on a
+  worker thread while the strand stays blocked; KV writes are deferred
+  into the :class:`~repro.runtime.host.HostContext` overlay and applied
+  on the loop thread when the call completes, so table mutation remains
+  single-threaded.
+
+Determinism: the realtime engine makes **no** ordering guarantees
+between timers that race within the scheduling jitter of the host OS.
+Fault policy (loss, partitions, duplication) still lives in
+:class:`~repro.runtime.channels.Network` and therefore still applies —
+but the *sequence* of RNG draws can differ from the sim engine, so
+seeded fault runs are only reproducible under ``engine="sim"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import os
+from typing import Callable
+
+from .engine import Clock, ClockTransport, ExecutionEngine, Executor, Transport
+from .wire import LEN_PREFIX, decode_message, encode_message
+
+__all__ = [
+    "RealtimeClock",
+    "RealtimeEngine",
+    "TcpTransport",
+    "ThreadPoolHostExecutor",
+]
+
+
+class _WallHandle:
+    """Timer handle with the :class:`~repro.runtime.sim.EventHandle`
+    surface (``cancel`` / ``cancelled`` / ``time``)."""
+
+    __slots__ = ("_clock", "_th", "_cancelled", "_fired", "time")
+
+    def __init__(self, clock: "RealtimeClock", time: float):
+        self._clock = clock
+        self.time = time
+        self._th: asyncio.TimerHandle | None = None
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        if self._cancelled or self._fired:
+            return
+        self._cancelled = True
+        if self._th is not None:
+            self._th.cancel()
+        self._clock._live.discard(self)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class RealtimeClock(Clock):
+    """Logical time riding on a private asyncio loop's wall clock."""
+
+    def __init__(self, *, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.time_scale = time_scale
+        self.loop = asyncio.new_event_loop()
+        self._t0 = self.loop.time()
+        self._floor = 0.0  # run_until(T) guarantees now >= T afterwards
+        self._live: set[_WallHandle] = set()
+        #: engine hook: extra pending work (in-flight messages / host
+        #: calls) consulted by the quiescence-driven :meth:`run`
+        self.extra_pending: Callable[[], int] | None = None
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return max((self.loop.time() - self._t0) / self.time_scale, self._floor)
+
+    def _wall(self, logical: float) -> float:
+        return self._t0 + logical * self.time_scale
+
+    # -- timers -------------------------------------------------------------
+
+    def call_at(self, time, callback, priority=0, *, label=None, footprint=None):
+        # priority / label / footprint are sim-engine schedule metadata;
+        # on a wall clock co-enabled ordering is the OS scheduler's call
+        h = _WallHandle(self, time)
+
+        def fire() -> None:
+            h._fired = True
+            self._live.discard(h)
+            if not h._cancelled:
+                callback()
+
+        # a past deadline fires on the next loop iteration (asyncio
+        # clamps internally), matching the sim's call_at(now, ...) path
+        h._th = self.loop.call_at(self._wall(time), fire)
+        self._live.add(h)
+        return h
+
+    def call_after(self, delay, callback, priority=0, *, label=None, footprint=None):
+        return self.call_at(self.now + max(delay, 0.0), callback, priority,
+                            label=label, footprint=footprint)
+
+    def pending_events(self) -> int:
+        return len(self._live)
+
+    # -- run loop -----------------------------------------------------------
+
+    def _sleep(self, seconds: float) -> None:
+        self.loop.run_until_complete(asyncio.sleep(seconds))
+
+    def _next_due(self) -> float | None:
+        return min((self._wall(h.time) for h in self._live), default=None)
+
+    def _drain_due(self, limit: int = 100_000) -> None:
+        """Run ready callbacks plus any timers already past their wall
+        deadline — zero-delay cascades (pump → send → ack → pump) settle
+        here instead of costing a poll interval each."""
+        for _ in range(limit):
+            self._sleep(0)
+            due = self._next_due()
+            if due is None or due > self.loop.time():
+                return
+        raise RuntimeError("realtime clock: zero-delay event cascade did not settle")
+
+    def run_until(self, time: float) -> None:
+        deadline = self._wall(time)
+        self._drain_due()
+        while self.loop.time() < deadline:
+            # the loop fires intervening timers during the sleep itself
+            self._sleep(min(deadline - self.loop.time(), 0.1))
+            self._drain_due()
+        self._floor = max(self._floor, time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until quiescent: no live timers, no in-flight messages,
+        no running host calls.  Architectures with self-re-arming poll
+        loops (e.g. failover reactivation probes) never quiesce — drive
+        those with :meth:`run_until`."""
+        idle = 0
+        while True:
+            self._drain_due()
+            pending = len(self._live)
+            if self.extra_pending is not None:
+                pending += self.extra_pending()
+            if pending == 0:
+                # one extra settle round catches completions posted from
+                # worker threads between the check and the sleep
+                idle += 1
+                if idle >= 2:
+                    return
+            else:
+                idle = 0
+            self._sleep(0.002)
+
+    def close(self) -> None:
+        if self.loop.is_closed():
+            return
+        for h in list(self._live):
+            h.cancel()
+        # cancel in-flight transport tasks and let everything settle
+        # before the loop closes (destroying pending tasks warns)
+        tasks = asyncio.all_tasks(self.loop)
+        for t in tasks:
+            t.cancel()
+        if tasks:
+            self.loop.run_until_complete(
+                asyncio.gather(*tasks, return_exceptions=True)
+            )
+        self._sleep(0)
+        self.loop.close()
+
+
+class ThreadPoolHostExecutor(Executor):
+    """Host blocks on worker threads, completions on the loop thread."""
+
+    inline = False
+
+    def __init__(self, clock: RealtimeClock, max_workers: int | None = None):
+        self._clock = clock
+        self.in_flight = 0
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers or min(8, (os.cpu_count() or 1) + 2),
+            thread_name_prefix="csaw-host",
+        )
+
+    def invoke(self, fn, ctx, done) -> None:
+        self.in_flight += 1
+        loop = self._clock.loop
+
+        def work() -> None:
+            try:
+                fn(ctx)
+                exc: BaseException | None = None
+            except BaseException as e:  # noqa: BLE001 - relayed to the strand
+                exc = e
+            loop.call_soon_threadsafe(self._complete, done, exc)
+
+        self._pool.submit(work)
+
+    def _complete(self, done, exc) -> None:
+        self.in_flight -= 1
+        done(exc)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class TcpTransport(Transport):
+    """Loopback TCP delivery with length-prefixed frames.
+
+    ``bind`` opens a listening socket on an ephemeral port; the first
+    transmit lazily connects a single client stream to it.  Latency is
+    modelled by the clock (scaled), then the frame crosses the kernel:
+    ``deliver → timer → frame → socket → reader → network.dispatch``.
+    ``in_flight`` covers the whole span, so quiescence accounting still
+    holds while bytes sit in socket buffers.
+    """
+
+    inproc = False
+
+    def __init__(self):
+        super().__init__()
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._conn_lock: asyncio.Lock | None = None
+
+    def bind(self, network, clock) -> None:
+        super().bind(network, clock)
+        loop = clock.loop
+        self._server = loop.run_until_complete(
+            asyncio.start_server(self._serve, "127.0.0.1", 0)
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._conn_lock = asyncio.Lock()
+
+    def deliver(self, msg, latency, dispatch, *, label=None, footprint=None):
+        # dispatch is ignored on purpose: the receiving side of the
+        # socket re-enters through network.dispatch, which re-resolves
+        # liveness/partition state at arrival time exactly as the
+        # in-process path does
+        self.in_flight += 1
+        self.clock.call_after(latency, lambda m=msg: self._transmit(m))
+
+    def _transmit(self, msg) -> None:
+        # timer context — the loop is running, so tasks may be spawned
+        self.clock.loop.create_task(self._send(encode_message(msg)))
+
+    async def _send(self, body: bytes) -> None:
+        try:
+            async with self._conn_lock:
+                if self._writer is None:
+                    _, self._writer = await asyncio.open_connection("127.0.0.1", self.port)
+                self._writer.write(LEN_PREFIX.pack(len(body)) + body)
+                await self._writer.drain()
+        except (ConnectionError, OSError):
+            self.in_flight -= 1  # transport torn down mid-send
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                header = await reader.readexactly(LEN_PREFIX.size)
+                (length,) = LEN_PREFIX.unpack(header)
+                msg = decode_message(await reader.readexactly(length))
+                self.in_flight -= 1
+                self.network.dispatch(msg)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer went away: connection drained or reset
+        except asyncio.CancelledError:
+            pass  # engine close() cancels the reader mid-await
+        finally:
+            writer.close()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+
+class RealtimeEngine(ExecutionEngine):
+    """asyncio wall-clock backend: parallel host work, real transports.
+
+    ``transport`` selects ``"inproc"`` (scaled timers, no wire format)
+    or ``"tcp"`` (loopback sockets + serde frames).  ``time_scale``
+    compresses logical time onto the wall clock; ``max_workers`` sizes
+    the host-block thread pool.
+    """
+
+    supports_controlled_scheduling = False
+
+    def __init__(self, *, time_scale: float = 1.0, transport: str = "inproc",
+                 max_workers: int | None = None):
+        if transport not in ("inproc", "tcp"):
+            raise ValueError(f"transport must be 'inproc' or 'tcp', got {transport!r}")
+        clock = RealtimeClock(time_scale=time_scale)
+        tr: Transport = TcpTransport() if transport == "tcp" else ClockTransport()
+        ex = ThreadPoolHostExecutor(clock, max_workers)
+        super().__init__(clock, tr, ex)
+        self.name = "realtime-tcp" if transport == "tcp" else "realtime"
+        clock.extra_pending = lambda: tr.in_flight + ex.in_flight
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.transport.close()
+        self.executor.close()
+        self.clock.close()

@@ -28,8 +28,7 @@ Req`` …).
 from __future__ import annotations
 
 import random
-import warnings
-from typing import Callable, Mapping
+from typing import Mapping
 
 from ..core import ast as A
 from ..core.compiler import CompiledProgram
@@ -54,6 +53,13 @@ from ..telemetry import Telemetry
 from ..telemetry.facade import note_system
 from .channels import Message, Network
 from .delivery import DeliveryPolicy, ReliableDelivery
+from .engine import (
+    ExecutionEngine,
+    SimEngine,
+    _default_engine_factory,
+    controller_pending,
+    create_engine,
+)
 from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime
 from .interpreter import JunctionExecution
 from .kvtable import UNDEF, Update
@@ -76,6 +82,7 @@ class System:
         delivery_policy: DeliveryPolicy | None = None,
         telemetry: Telemetry | bool | None = None,
         host_contract: str = "strict",
+        engine: ExecutionEngine | str | None = None,
     ):
         if host_contract not in ("strict", "warn"):
             raise ValueError(
@@ -87,7 +94,25 @@ class System:
         #: performs the write and emits a ``host_contract_violation``
         #: telemetry event (sec. 6's ``⌊H⌉{V}`` write contract)
         self.host_contract = host_contract
-        self.sim = sim or Simulator()
+        # -- execution engine resolution: explicit engine > shared sim >
+        #    ambient default_engine() scope > fresh SimEngine
+        if isinstance(engine, str):
+            engine = create_engine(engine)
+        if engine is not None:
+            if sim is not None:
+                raise ValueError("pass engine=... or sim=..., not both")
+        elif sim is not None:
+            engine = SimEngine(sim)
+        else:
+            factory = _default_engine_factory()
+            engine = factory() if factory is not None else SimEngine()
+        if controller_pending() and not engine.supports_controlled_scheduling:
+            raise ValueError(
+                f"engine {engine.name!r} does not support controlled scheduling "
+                "(use_controller / repro explore require the sim engine)"
+            )
+        self.engine = engine
+        self.clock = engine.clock
         self.rng = random.Random(seed)
         # the telemetry facade owns the metrics registry shared by the
         # transport, delivery layer, KV tables and interpreter;
@@ -95,17 +120,22 @@ class System:
         # they are plain integer counters) for clean timing runs
         if isinstance(telemetry, Telemetry):
             self.telemetry = telemetry
-            self.telemetry.clock = self.sim
+            self.telemetry.clock = self.clock
         else:
-            self.telemetry = Telemetry(self.sim, enabled=telemetry is not False)
+            self.telemetry = Telemetry(self.clock, enabled=telemetry is not False)
+        # tag every metric and exported trace line with the engine, so
+        # sim and realtime runs of one workload are distinguishable
+        self.telemetry.engine = engine.name
+        self.telemetry.metrics.constant_labels["engine"] = engine.name
         note_system(self.telemetry)
         note_program(program)
         self.network = Network(
-            self.sim,
+            self.clock,
             default_latency=latency,
             intra_latency=intra_latency,
             rng=self.rng,
             metrics=self.telemetry.metrics,
+            transport=engine.transport,
         )
         self.network.telemetry = self.telemetry
         self.delivery = ReliableDelivery(self, delivery_policy, seed=seed)
@@ -126,6 +156,15 @@ class System:
         #: receive currently being processed (see ``_make_deliver``)
         self._attempt_cause: int | None = None
         self.failures: list[tuple[float, str, BaseException]] = []
+        engine.attach(self)
+
+    @property
+    def sim(self):
+        """The engine's clock (named for the original Simulator-only
+        runtime; on a realtime engine this is the wall-clock timer
+        facade).  Kept as the stable alias embedding code and the
+        chaos/fault layers schedule against."""
+        return self.clock
 
     # ------------------------------------------------------------------
     # Host bindings
@@ -183,7 +222,7 @@ class System:
 
     @property
     def now(self) -> float:
-        return self.sim.now
+        return self.clock.now
 
     def start(self, **main_args) -> None:
         """Run ``main``: evaluates the start-up expression.
@@ -228,13 +267,19 @@ class System:
         self._executions[jr.node] = execution
         execution.start()
         # drain immediate events so starts complete deterministically
-        self.sim.run_until(self.sim.now)
+        self.engine.run_until(self.clock.now)
 
     def run_until(self, time: float) -> None:
-        self.sim.run_until(time)
+        self.engine.run_until(time)
 
     def run(self, max_events: int = 10_000_000) -> None:
-        self.sim.run(max_events)
+        self.engine.run(max_events)
+
+    def shutdown(self) -> None:
+        """Release engine resources (worker threads, sockets, event
+        loops).  A no-op for the default sim engine; realtime systems
+        should be shut down when the embedding application is done."""
+        self.engine.close()
 
     # ------------------------------------------------------------------
     # Instance lifecycle
@@ -417,7 +462,7 @@ class System:
         causal parent of the resulting ``attempt`` event."""
         if cause is None:
             cause = self._attempt_cause
-        self.sim.call_after(
+        self.clock.call_after(
             0.0,
             lambda: self.attempt_schedule(jr, cause=cause),
             label=f"attempt:{jr.node}",
@@ -450,7 +495,7 @@ class System:
 
     def execution_finished(self, jr: JunctionRuntime, execution: JunctionExecution) -> None:
         if execution.failure is not None:
-            self.failures.append((self.sim.now, jr.node, execution.failure))
+            self.failures.append((self.clock.now, jr.node, execution.failure))
         self._executions.pop(jr.node, None)
         if jr.table.pending:
             self._attempt_soon(jr)
@@ -607,51 +652,6 @@ class System:
     def read_state(self, node: str, key: str):
         """Read junction state from outside (tests/metrics)."""
         return self.junction(node).table.values.get(key, UNDEF)
-
-    # ------------------------------------------------------------------
-    # Tracing — deprecated shims over ``System.telemetry``
-    #
-    # The ad-hoc pre-telemetry API (an unbounded ``_trace`` list of
-    # dicts, synchronous hooks, a one-off net-stats dump) is collapsed
-    # into the :class:`~repro.telemetry.Telemetry` facade.  These shims
-    # delegate and warn; see docs/OBSERVABILITY.md for the migration
-    # table.
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _deprecated(old: str, new: str) -> None:
-        warnings.warn(
-            f"System.{old} is deprecated; use System.telemetry.{new} "
-            "(see docs/OBSERVABILITY.md)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def trace(self, kind: str, node: str, **info) -> None:
-        self._deprecated("trace(...)", "emit(kind, node, **attrs)")
-        self.telemetry.emit(kind, node, **info)
-
-    def on_trace(self, hook: Callable[[dict], None]) -> None:
-        self._deprecated("on_trace(hook)", "on_emit(hook)")
-        self.telemetry.on_emit(hook)
-
-    def trace_net_stats(self, label: str = "") -> dict:
-        """Deprecated: snapshot the transport counters into the trace
-        (kind ``net_stats``) and return them.  Use
-        ``system.telemetry.metrics`` (labeled ``net_*`` counters) or
-        ``system.network.stats`` for the flat view."""
-        self._deprecated("trace_net_stats(label)", "metrics (net_* counters)")
-        stats = dict(self.network.stats)
-        self.telemetry.emit("net_stats", "__network__", label=label, **stats)
-        return stats
-
-    @property
-    def trace_log(self) -> list[dict]:
-        """Deprecated: the retained events as pre-telemetry dicts.  Use
-        ``system.telemetry.events`` (structured events with causal
-        links) or ``system.telemetry.export("jsonl")``."""
-        self._deprecated("trace_log", "events / export()")
-        return [e.legacy() for e in self.telemetry.events]
 
 
 def _to_runtime_value(v: object) -> object:

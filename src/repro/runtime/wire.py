@@ -1,0 +1,73 @@
+"""Wire codec for runtime messages (the TCP transport's frame bodies).
+
+The realtime engine's TCP transport moves
+:class:`~repro.runtime.channels.Message` values over a loopback socket
+using libcompart-style length-prefixed frames: a 4-byte little-endian
+length followed by the body, encoded with the serde generic codec
+(:mod:`repro.serde.framing`).  Update payloads carry their
+:class:`~repro.runtime.kvtable.Update` fields; serialized data values
+(:class:`~repro.serde.framing.SavedData`) are tagged so the schema
+survives the round trip without re-encoding the inner blob.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SerdeError
+from ..serde.framing import SavedData, decode_generic, encode_generic
+from ..serde.framing import _LEN as LEN_PREFIX
+from .channels import Message
+from .kvtable import Update
+
+__all__ = ["LEN_PREFIX", "decode_message", "encode_message", "frame"]
+
+#: dict tag marking a re-hydratable SavedData value (NUL-prefixed so it
+#: cannot collide with substrate dict keys, which are identifiers)
+_SAVED_TAG = "\x00saved"
+
+
+def _enc_value(v: object) -> object:
+    if isinstance(v, SavedData):
+        return {_SAVED_TAG: [v.schema, v.blob]}
+    return v
+
+
+def _dec_value(v: object) -> object:
+    if isinstance(v, dict) and len(v) == 1 and _SAVED_TAG in v:
+        schema, blob = v[_SAVED_TAG]
+        return SavedData(schema, blob)
+    return v
+
+
+def encode_message(msg: Message) -> bytes:
+    """Encode one message into a frame body (no length prefix)."""
+    rec: dict[str, object] = {
+        "s": msg.src,
+        "d": msg.dst,
+        "k": msg.kind,
+        "i": msg.msg_id,
+    }
+    if isinstance(msg.payload, Update):
+        rec["u"] = [msg.payload.key, _enc_value(msg.payload.value), msg.payload.src]
+    else:
+        rec["p"] = _enc_value(msg.payload)
+    return encode_generic(rec)
+
+
+def decode_message(body: bytes) -> Message:
+    """Decode a frame body back into a message."""
+    rec = decode_generic(body)
+    if not isinstance(rec, dict) or "s" not in rec:
+        raise SerdeError("frame body is not a runtime message")
+    if "u" in rec:
+        key, value, usrc = rec["u"]
+        payload: object = Update(key=key, value=_dec_value(value), src=usrc)
+    else:
+        payload = _dec_value(rec["p"])
+    return Message(
+        src=rec["s"], dst=rec["d"], kind=rec["k"], payload=payload, msg_id=rec["i"]
+    )
+
+
+def frame(body: bytes) -> bytes:
+    """Length-prefix a frame body for the wire."""
+    return LEN_PREFIX.pack(len(body)) + body

@@ -53,8 +53,8 @@ class TraceEvent:
         self.attrs = attrs or {}
 
     def legacy(self) -> dict:
-        """The pre-telemetry ``System.trace`` record shape (the view
-        returned by the deprecated ``System.trace_log`` shim)."""
+        """The pre-telemetry ``System.trace`` record shape (kept for
+        ``on_emit`` hooks written against that dict layout)."""
         return {"time": self.time, "kind": self.kind, "node": self.node, **self.attrs}
 
     def record(self) -> dict:

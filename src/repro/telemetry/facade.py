@@ -1,8 +1,9 @@
 """The :class:`Telemetry` facade — the one observability surface.
 
 A :class:`~repro.runtime.system.System` owns exactly one ``Telemetry``;
-everything the old ad-hoc API scattered (``System.trace`` /
-``on_trace`` / ``trace_net_stats`` / ``trace_log``) goes through it:
+everything the pre-telemetry ad-hoc API scattered (the removed
+``System.trace`` / ``on_trace`` / ``trace_net_stats`` / ``trace_log``)
+goes through it:
 
 * ``emit(kind, node, parent=..., **attrs)`` — structured trace events
   with causal parent links, into a bounded ring buffer;
@@ -74,6 +75,10 @@ class Telemetry:
         #: after construction so a Telemetry can be built first
         self.clock = clock
         self.enabled = enabled
+        #: name of the execution engine driving the owning system
+        #: (``"sim"`` / ``"realtime"``); stamped by ``System.__init__``
+        #: and carried into every exported trace line
+        self.engine: str | None = None
         self.events = RingBufferSink(capacity)
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._seq = 0
@@ -164,9 +169,9 @@ class Telemetry:
         """Serialize retained events (``fmt``: ``jsonl`` | ``chrome``);
         writes to ``path`` when given, always returns the text."""
         if fmt == "jsonl":
-            out = to_jsonl(self.events)
+            out = to_jsonl(self.events, engine=self.engine)
         elif fmt == "chrome":
-            out = chrome_json([(label, self.events)])
+            out = chrome_json([(label, self.events)], engine=self.engine)
         else:
             raise ValueError(f"unknown export format {fmt!r} (expected jsonl|chrome)")
         if path is not None:

@@ -130,8 +130,15 @@ class MetricsRegistry:
     def __init__(self):
         # name -> (type, {label_key: metric})
         self._metrics: dict[str, tuple[type, dict[tuple, object]]] = {}
+        #: labels merged into every metric registered from now on (the
+        #: System stamps ``engine=<name>`` here so sim and realtime runs
+        #: of one workload are distinguishable in snapshots); explicit
+        #: labels win on collision
+        self.constant_labels: dict[str, str] = {}
 
     def _get(self, cls: type, name: str, labels: dict, *args):
+        if self.constant_labels:
+            labels = {**self.constant_labels, **labels}
         try:
             kind, family = self._metrics[name]
         except KeyError:

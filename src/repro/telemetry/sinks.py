@@ -56,15 +56,23 @@ class RingBufferSink:
 # ---------------------------------------------------------------------------
 
 
-def to_jsonl(events: Iterable[TraceEvent], *, system: str | None = None) -> str:
+def to_jsonl(
+    events: Iterable[TraceEvent],
+    *,
+    system: str | None = None,
+    engine: str | None = None,
+) -> str:
     """One JSON object per event, keys sorted, non-JSON values via
     ``str`` — deterministic for seeded runs.  ``system`` labels every
-    line when several systems are merged into one export."""
+    line when several systems are merged into one export; ``engine``
+    tags each line with the execution engine that produced it."""
     lines = []
     for e in events:
         rec = e.record()
         if system is not None:
             rec["system"] = system
+        if engine is not None:
+            rec["engine"] = engine
         lines.append(json.dumps(rec, sort_keys=True, default=str))
     return "\n".join(lines) + ("\n" if lines else "")
 
@@ -77,14 +85,22 @@ def to_jsonl(events: Iterable[TraceEvent], *, system: str | None = None) -> str:
 _BEGIN, _END = "sched", "unsched"
 
 
-def to_chrome(groups: Iterable[tuple[str, Iterable[TraceEvent]]]) -> dict:
+def to_chrome(
+    groups: Iterable[tuple[str, Iterable[TraceEvent]]],
+    *,
+    engine: str | None = None,
+) -> dict:
     """Build a Chrome trace-event document from ``(label, events)``
-    groups — one traced process per system."""
+    groups — one traced process per system.  ``engine`` is recorded in
+    each process's metadata args."""
     trace: list[dict] = []
     for pid, (label, events) in enumerate(groups):
+        proc_args = {"name": label}
+        if engine is not None:
+            proc_args["engine"] = engine
         trace.append(
             {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-             "args": {"name": label}}
+             "args": proc_args}
         )
         tids: dict[str, int] = {}
         for e in events:
@@ -119,5 +135,9 @@ def to_chrome(groups: Iterable[tuple[str, Iterable[TraceEvent]]]) -> dict:
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
 
 
-def chrome_json(groups: Iterable[tuple[str, Iterable[TraceEvent]]]) -> str:
-    return json.dumps(to_chrome(groups), sort_keys=True)
+def chrome_json(
+    groups: Iterable[tuple[str, Iterable[TraceEvent]]],
+    *,
+    engine: str | None = None,
+) -> str:
+    return json.dumps(to_chrome(groups, engine=engine), sort_keys=True)

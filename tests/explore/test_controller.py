@@ -5,7 +5,8 @@ import random
 import pytest
 
 from repro.explore import RecordingController, Schedule, ScheduleDivergence
-from repro.runtime.sim import ScheduleController, Simulator, use_controller
+from repro.runtime.engine import ScheduleController, use_controller
+from repro.runtime.sim import Simulator
 from repro.semantics.commute import Footprint
 
 

@@ -128,7 +128,7 @@ class TestChaosEngine:
         assert sys_.instance("x").alive
         assert sys_.instance("y").alive
         # crashes really happened (trace has crash/restart records)
-        kinds = [r["kind"] for r in sys_.trace_log]
+        kinds = [e.kind for e in sys_.telemetry.events]
         assert kinds.count("crash_instance") == 4
         assert kinds.count("restart_instance") == 4
 

@@ -24,7 +24,7 @@ class _Host:
     """Minimal stand-in for System: just sim + network + telemetry."""
 
     def __init__(self, *, drop=0.0, seed=0, latency=0.05):
-        self.sim = Simulator()
+        self.sim = self.clock = Simulator()
         self.telemetry = Telemetry(self.sim)
         self.network = Network(
             self.sim,

@@ -149,6 +149,6 @@ class TestDeterminism:
             sys_.bind_state("G", save=lambda a, i: None, restore=lambda a, i, o: None)
             sys_.start(t=5)
             sys_.run_until(5.0)
-            return [(r["time"], r["kind"], r["node"]) for r in sys_.trace_log]
+            return [(e.time, e.kind, e.node) for e in sys_.telemetry.events]
 
         assert run(seed) == run(0)

@@ -282,13 +282,13 @@ class TestTracing:
         sys_ = fig3_system()
         sys_.start(t=5)
         sys_.run_until(2.0)
-        kinds = [r["kind"] for r in sys_.trace_log]
+        kinds = [e.kind for e in sys_.telemetry.events]
         assert "sched" in kinds and "unsched" in kinds and "start_instance" in kinds
 
     def test_trace_hook(self):
         sys_ = fig3_system()
         seen = []
-        sys_.on_trace(lambda rec: seen.append(rec["kind"]))
+        sys_.telemetry.on_emit(lambda rec: seen.append(rec["kind"]))
         sys_.start(t=5)
         assert "start_instance" in seen
 

@@ -331,53 +331,28 @@ class TestExporters:
 
 
 # ---------------------------------------------------------------------------
-# Deprecated shims
+# Pre-telemetry API removal (the PR-2 shims are gone)
 # ---------------------------------------------------------------------------
 
 
-class TestDeprecatedShims:
-    def test_trace_log_warns_and_equals_new_api(self):
+class TestShimRemoval:
+    def test_pre_telemetry_shims_are_gone(self):
         sys_ = _ping_system()
-        with pytest.warns(DeprecationWarning, match="trace_log"):
-            legacy = sys_.trace_log
-        assert legacy == [e.legacy() for e in sys_.telemetry.events]
-        assert {"time", "kind", "node"} <= set(legacy[0])
-        assert "seq" not in legacy[0]  # legacy shape, not the new record
+        for name in ("trace", "on_trace", "trace_net_stats", "trace_log"):
+            assert not hasattr(sys_, name), f"System.{name} shim should be removed"
 
-    def test_trace_warns_and_emits(self):
-        sys_ = _ping_system()
-        with pytest.warns(DeprecationWarning, match="trace"):
-            sys_.trace("custom", "x::y", detail=3)
-        ev = list(sys_.telemetry.events)[-1]
-        assert (ev.kind, ev.node, ev.attrs) == ("custom", "x::y", {"detail": 3})
-
-    def test_on_trace_warns_and_subscribes(self):
+    def test_replacement_api_does_not_warn(self):
         sys_ = pair("assert[g] Done", "skip", g_decls="| init prop !Done")
         seen = []
-        with pytest.warns(DeprecationWarning, match="on_trace"):
-            sys_.on_trace(lambda rec: seen.append(rec["kind"]))
-        sys_.start(t=1)
-        sys_.run_until(5.0)
-        assert "sched" in seen and "send" in seen
-
-    def test_trace_net_stats_warns_and_matches_stats(self):
-        sys_ = _ping_system()
-        with pytest.warns(DeprecationWarning, match="trace_net_stats"):
-            stats = sys_.trace_net_stats(label="probe")
-        assert stats == sys_.network.stats
-        ev = list(sys_.telemetry.events)[-1]
-        assert ev.kind == "net_stats"
-        assert ev.attrs["label"] == "probe"
-        assert ev.attrs["update_sent"] == stats["update_sent"]
-
-    def test_new_api_does_not_warn(self):
-        sys_ = _ping_system()
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
+            sys_.telemetry.on_emit(lambda rec: seen.append(rec["kind"]))
+            sys_.start(t=1)
+            sys_.run_until(5.0)
             sys_.telemetry.emit("k", "n")
-            sys_.telemetry.on_emit(lambda rec: None)
             _ = sys_.network.stats
             sys_.telemetry.export("jsonl")
+        assert "sched" in seen and "send" in seen
 
 
 # ---------------------------------------------------------------------------
