@@ -1,0 +1,91 @@
+"""Cluster-engine throughput: the multi-process deployment's relay cost.
+
+Not a paper figure — instrumentation for the cluster backend
+(docs/RUNTIME.md): the seeded GET/SET workload over the sharded-redis
+architecture, run once in-process (realtime) and once through real
+worker processes (cluster, one per instance and again sharded onto 2
+workers), recording ops/sec and p50/p99 submit→reply wall latency into
+``BENCH_cluster_throughput.json``.  Every cluster op pays two extra
+socket hops (coordinator → worker → coordinator), so the realtime
+engine is expected to dominate; the cluster numbers characterize that
+relay plus the heartbeat machinery running alongside the workload.
+"""
+
+import statistics
+import time
+
+from conftest import print_table, record_bench
+
+from repro.arch.sharding import ShardedRedis
+from repro.redislite import Command
+from repro.runtime import ClusterEngine, RealtimeEngine, default_engine
+
+N_OPS = 40
+#: wall seconds per logical second (20x compression: the cluster's
+#: spawn + relay wall costs need more logical headroom than inproc)
+TIME_SCALE = 0.05
+#: logical seconds granted per operation
+OP_BUDGET = 1.0
+
+ENGINES = (
+    ("realtime", lambda: RealtimeEngine(time_scale=TIME_SCALE)),
+    ("cluster", lambda: ClusterEngine(time_scale=TIME_SCALE)),
+    ("cluster-2w", lambda: ClusterEngine(time_scale=TIME_SCALE, workers=2)),
+)
+
+
+def run_workload(engine_factory):
+    with default_engine(engine_factory):
+        svc = ShardedRedis(n_shards=2, seed=0)
+    latencies = []
+    wall0 = time.perf_counter()
+    for i in range(N_OPS):
+        done = []
+        cmd = (
+            Command("SET", f"k{i % 8}", b"v%d" % i)
+            if i % 3
+            else Command("GET", f"k{i % 8}")
+        )
+        t_submit = time.perf_counter()
+        svc.submit(cmd, lambda reply: done.append(time.perf_counter()))
+        svc.system.run_until(svc.system.now + OP_BUDGET)
+        assert done, f"op {i} did not complete within its budget"
+        latencies.append(done[0] - t_submit)
+    wall = time.perf_counter() - wall0
+    assert not svc.system.failures
+    svc.system.shutdown()
+    return wall, latencies
+
+
+def test_cluster_throughput():
+    rows = []
+    results = {}
+    for name, factory in ENGINES:
+        wall, lat = run_workload(factory)
+        qs = statistics.quantiles(lat, n=100)
+        ops_per_sec = N_OPS / wall
+        p50_ms, p99_ms = qs[49] * 1e3, qs[98] * 1e3
+        results[name] = ops_per_sec
+        record_bench(
+            "cluster_throughput",
+            {
+                "n_ops": N_OPS,
+                "time_scale": TIME_SCALE,
+                "ops_per_sec": round(ops_per_sec, 2),
+                "p50_ms": round(p50_ms, 3),
+                "p99_ms": round(p99_ms, 3),
+            },
+            engine=name,
+            wall_seconds=wall,
+        )
+        rows.append([name, f"{ops_per_sec:.1f}", f"{p50_ms:.2f}", f"{p99_ms:.2f}"])
+
+    print_table(
+        "cluster throughput (sharded redis, %d ops)" % N_OPS,
+        ["engine", "ops/sec", "p50 ms", "p99 ms"],
+        rows,
+    )
+    # every deployment completed the full workload through real
+    # processes; relative speed is machine-dependent, so only the
+    # completion and the recorded numbers are asserted
+    assert all(v > 0 for v in results.values())

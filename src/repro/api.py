@@ -17,10 +17,11 @@ The surface covers the four things an embedding application touches:
 * **the DSL** — ``parse_program`` / ``compile_program`` plus the
   packaged paper architectures via ``load_program`` / ``ARCHITECTURES``;
 * **the runtime** — ``System``, the pluggable execution engines
-  (``SimEngine`` / ``RealtimeEngine`` via ``create_engine`` /
-  ``default_engine``; see ``docs/RUNTIME.md``), the ``Simulator``
-  clock, and the delivery/fault knobs (``DeliveryPolicy``,
-  ``FaultPlan``, ``ChaosConfig`` / ``ChaosEngine`` / ``SoakHarness``);
+  (``SimEngine`` / ``RealtimeEngine`` / ``ClusterEngine`` via
+  ``create_engine`` / ``default_engine``; see ``docs/RUNTIME.md``), the
+  ``Simulator`` clock, and the delivery/fault knobs (``DeliveryPolicy``,
+  ``FaultPlan``, ``BackoffPolicy``, ``ChaosConfig`` / ``ChaosEngine`` /
+  ``SoakHarness``);
 * **observability** — the ``Telemetry`` facade (``system.telemetry``)
   and its metric/exporter types; see ``docs/OBSERVABILITY.md``;
 * **errors** — the ``CSawError`` hierarchy root and the failure types
@@ -34,8 +35,10 @@ from .core.compiler import CompiledProgram, compile_program
 from .core.errors import CSawError, DeliveryFailure, DslFailure
 from .core.parser import parse_program
 from .runtime import (
+    BackoffPolicy,
     ChaosConfig,
     ChaosEngine,
+    ClusterEngine,
     DeliveryPolicy,
     ExecutionEngine,
     FaultPlan,
@@ -66,8 +69,10 @@ __all__ = [
     "load_source",
     "parse_program",
     # runtime
+    "BackoffPolicy",
     "ChaosConfig",
     "ChaosEngine",
+    "ClusterEngine",
     "DeliveryPolicy",
     "ExecutionEngine",
     "FaultPlan",

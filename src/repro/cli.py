@@ -21,6 +21,16 @@ Commands:
                   ``.py`` script) with telemetry on and export the
                   causal trace as JSONL or Chrome trace-event JSON
                   (loadable in ``chrome://tracing`` / Perfetto).
+* ``run``       — execute an architecture on a chosen execution engine
+                  (``--engine sim|realtime|realtime-tcp|cluster``);
+                  SIGINT/SIGTERM drain in-flight work before the
+                  summary instead of dying mid-write.
+* ``cluster``   — deploy across supervised worker processes (one OS
+                  process per instance, or ``--workers N`` shard
+                  groups) with heartbeat liveness probes and
+                  restart-with-backoff; ``--kill b1 --kill-at 4`` runs
+                  a SIGKILL fault drill and exits non-zero unless the
+                  supervisor recovers the worker.
 * ``explore``   — controlled-scheduler interleaving search: run a
                   shipped architecture name, a ``.csaw`` file or a
                   ``.py`` scenario script under every reachable
@@ -334,63 +344,227 @@ def _stub_bindings(system) -> list[str]:
     return stubbed
 
 
-def cmd_run(args) -> int:
-    import time as _time
+class _GracefulSignal(Exception):
+    """Raised out of a running engine loop by the SIGINT/SIGTERM
+    handler so ``repro run`` / ``repro cluster`` can drain instead of
+    dying mid-write."""
 
+    def __init__(self, signum: int):
+        super().__init__(signum)
+        self.signum = signum
+
+    @property
+    def name(self) -> str:
+        import signal as _signal
+
+        try:
+            return _signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - exotic signal numbers
+            return str(self.signum)
+
+
+class _graceful_signals:
+    """Context manager: route SIGINT/SIGTERM into :class:`_GracefulSignal`
+    (wall-clock engines only — the sim engine finishes instantly and the
+    default KeyboardInterrupt behaviour is right for it)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._prev: list[tuple[int, object]] = []
+
+    def __enter__(self):
+        if not self.enabled:
+            return self
+        import signal as _signal
+
+        def handler(signum, frame):  # noqa: ARG001 - signal signature
+            raise _GracefulSignal(signum)
+
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            self._prev.append((signum, _signal.signal(signum, handler)))
+        return self
+
+    def __exit__(self, *exc):
+        import signal as _signal
+
+        for signum, prev in self._prev:
+            _signal.signal(signum, prev)
+        return False
+
+
+def _run_workload(args, factory, holder=None):
+    """The shared ``repro run`` / ``repro cluster`` drive: a shipped
+    scenario name runs its exploration workload, anything else loads as
+    a ``.csaw`` file with stubbed host bindings.  Returns the system."""
     from .explore.scenarios import _ARCH_SCENARIOS, arch_scenario
-    from .runtime.engine import create_engine, default_engine
+    from .runtime.engine import default_engine
 
-    kw = {}
-    if args.engine != "sim":
-        kw["time_scale"] = args.time_scale
-    factory = lambda: create_engine(args.engine, **kw)  # noqa: E731
-
-    wall0 = _time.perf_counter()
     if args.file in _ARCH_SCENARIOS:
         # shipped architecture: the exploration scenario provides the
         # host bindings and a deterministic workload
         sc = arch_scenario(args.file)
         if args.until is not None:
             sc.horizon = args.until
+        if holder is not None:
+            holder.append(sc)
         with default_engine(factory):
-            system = sc.run()
-    else:
-        from .arch.loader import expand_placeholders
-        from .core.compiler import compile_program
-        from .runtime.system import System
+            return sc.run()
+    from .arch.loader import expand_placeholders
+    from .core.compiler import compile_program
+    from .runtime.system import System
 
-        text = Path(args.file).read_text()
-        if "@BACKENDS@" in text:
-            text = expand_placeholders(text)
-        prog = compile_program(text, config=_parse_config(args.config))
-        system = System(prog, engine=factory())
-        stubbed = _stub_bindings(system)
-        if stubbed:
-            print(f"stubbed host bindings: {', '.join(stubbed)}", file=sys.stderr)
-        main_args = {}
-        if prog.main is not None:
-            env = prog.config_env()
-            main_args = {p: 1.0 for p in prog.main.params if p not in env}
-        if main_args:
-            print(
-                f"defaulted main parameter(s) to 1.0: {sorted(main_args)}",
-                file=sys.stderr,
-            )
-        system.start(**main_args)
-        system.run_until(args.until if args.until is not None else 30.0)
-    wall = _time.perf_counter() - wall0
+    text = Path(args.file).read_text()
+    if "@BACKENDS@" in text:
+        text = expand_placeholders(text)
+    prog = compile_program(text, config=_parse_config(args.config))
+    system = System(prog, engine=factory())
+    if holder is not None:
+        holder.append(system)
+    stubbed = _stub_bindings(system)
+    if stubbed:
+        print(f"stubbed host bindings: {', '.join(stubbed)}", file=sys.stderr)
+    main_args = {}
+    if prog.main is not None:
+        env = prog.config_env()
+        main_args = {p: 1.0 for p in prog.main.params if p not in env}
+    if main_args:
+        print(
+            f"defaulted main parameter(s) to 1.0: {sorted(main_args)}",
+            file=sys.stderr,
+        )
+    system.start(**main_args)
+    system.run_until(args.until if args.until is not None else 30.0)
+    return system
 
+
+def _recover_system(holder):
+    """Best-effort: the system under a run that was interrupted
+    mid-workload (scenarios stash the service on themselves first)."""
+    for obj in holder:
+        svc = getattr(obj, "_svc", None)
+        if svc is not None:
+            return svc.system
+        if hasattr(obj, "engine"):
+            return obj
+    return None
+
+
+def _print_summary(args, system, wall: float, *, drained: str | None = None) -> None:
     sent = int(system.telemetry.metrics.sum("net_sent"))
     delivered = int(system.telemetry.metrics.sum("net_delivered"))
+    drain_note = f" drained={drained}" if drained is not None else ""
     print(
         f"{args.file}: engine={system.engine.name} t={system.now:.3f} "
         f"sent={sent} delivered={delivered} wall={wall:.2f}s "
-        f"failures={len(system.failures)}"
+        f"failures={len(system.failures)}{drain_note}"
     )
     for t, node, exc in system.failures:
         print(f"  failure at t={t:.3f} in {node}: {exc!r}", file=sys.stderr)
+
+
+def cmd_run(args) -> int:
+    import time as _time
+
+    from .runtime.engine import create_engine
+
+    kw = {}
+    if args.engine != "sim":
+        kw["time_scale"] = args.time_scale
+    factory = lambda: create_engine(args.engine, **kw)  # noqa: E731
+
+    holder: list = []
+    wall0 = _time.perf_counter()
+    drained: str | None = None
+    try:
+        with _graceful_signals(enabled=args.engine != "sim"):
+            system = _run_workload(args, factory, holder)
+    except _GracefulSignal as sig:
+        system = _recover_system(holder)
+        if system is None:
+            print(f"run: {sig.name} before the system came up", file=sys.stderr)
+            return 130
+        # drain in-flight messages and host calls before summarizing, so
+        # the telemetry counters below describe a settled system
+        print(f"run: {sig.name} — draining in-flight work", file=sys.stderr)
+        drained = "clean" if system.engine.drain(grace=5.0) else "timeout"
+    wall = _time.perf_counter() - wall0
+
+    _print_summary(args, system, wall, drained=drained)
     system.shutdown()
     return 1 if system.failures else 0
+
+
+def cmd_cluster(args) -> int:
+    import time as _time
+
+    from .runtime.cluster import ClusterEngine, reap_orphan_workers
+    from .runtime.supervisor import BackoffPolicy
+
+    kills = list(args.kill)
+    kill_times = list(args.kill_at)
+    if len(kill_times) > len(kills):
+        raise SystemExit("error: more --kill-at times than --kill targets")
+    # unscheduled kills default to 4s, spaced 2s apart
+    while len(kill_times) < len(kills):
+        last = kill_times[-1] if kill_times else 2.0
+        kill_times.append(last + 2.0)
+    drills = list(zip(kill_times, kills))
+
+    backoff = BackoffPolicy(base=args.backoff_base, cap=args.backoff_cap)
+    engines: list[ClusterEngine] = []
+
+    def factory() -> ClusterEngine:
+        e = ClusterEngine(
+            workers=args.workers,
+            time_scale=args.time_scale,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            backoff=backoff,
+            drills=drills,
+        )
+        engines.append(e)
+        return e
+
+    holder: list = []
+    wall0 = _time.perf_counter()
+    drained: str | None = None
+    interrupted = False
+    try:
+        with _graceful_signals():
+            system = _run_workload(args, factory, holder)
+            if drills:
+                # give supervised restarts room to land after the
+                # workload: backoff delay + handshake + stabilization
+                system.run_until(system.now + args.settle)
+    except _GracefulSignal as sig:
+        interrupted = True
+        system = _recover_system(holder)
+        if system is None:
+            for e in engines:
+                e.close()
+            print(f"cluster: {sig.name} before the system came up", file=sys.stderr)
+            return 130
+        print(f"cluster: {sig.name} — draining workers", file=sys.stderr)
+        drained = "clean" if system.engine.drain(grace=5.0) else "timeout"
+    wall = _time.perf_counter() - wall0
+
+    _print_summary(args, system, wall, drained=drained)
+    engine = system.engine
+    recovered = True
+    if isinstance(engine, ClusterEngine):
+        report = engine.supervisor.report()
+        print(report.render())
+        if drills and not interrupted:
+            recovered = report.recovered()
+            print(f"recovered={recovered}")
+    system.shutdown()
+    leaked = reap_orphan_workers()
+    if leaked:
+        print(f"cluster: reaped leaked worker pgids {leaked}", file=sys.stderr)
+        return 1
+    if system.failures:
+        return 1
+    return 0 if recovered else 2
 
 
 def _explore_scenario(args):
@@ -606,10 +780,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="load-time configuration (for .csaw files); repeatable",
     )
     sp.add_argument(
-        "--engine", choices=("sim", "realtime", "realtime-tcp"), default="sim",
+        "--engine", choices=("sim", "realtime", "realtime-tcp", "cluster"),
+        default="sim",
         help="execution engine: deterministic simulation, asyncio wall-clock "
-             "with in-process channels, or asyncio with TCP loopback "
-             "channels (default: sim)",
+             "with in-process channels, asyncio with TCP loopback channels, "
+             "or supervised multi-process deployment (default: sim)",
     )
     sp.add_argument(
         "--until", type=float, default=None,
@@ -621,6 +796,66 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 0.05 — 20x compression)",
     )
     sp.set_defaults(fn=cmd_run)
+
+    sp = sub.add_parser(
+        "cluster",
+        help="deploy across supervised worker processes (one per instance "
+             "or shard group), with optional SIGKILL fault drills",
+    )
+    sp.add_argument(
+        "file",
+        help="a shipped architecture name (driven by its exploration "
+             "workload) or a .csaw file (unbound host blocks are stubbed)",
+    )
+    sp.add_argument(
+        "--config", action="append", default=[], metavar="NAME=VALUE",
+        help="load-time configuration (for .csaw files); repeatable",
+    )
+    sp.add_argument(
+        "--workers", type=int, default=None,
+        help="shard instances across N worker processes "
+             "(default: one worker per instance)",
+    )
+    sp.add_argument(
+        "--until", type=float, default=None,
+        help="logical-seconds horizon (default: the scenario's own, or 30)",
+    )
+    sp.add_argument(
+        "--time-scale", type=float, default=0.05,
+        help="wall seconds per logical second (default: 0.05)",
+    )
+    sp.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="logical seconds between liveness pings (default: 0.5)",
+    )
+    sp.add_argument(
+        "--heartbeat-timeout", type=float, default=2.0,
+        help="logical seconds without a pong before a worker is declared "
+             "crashed (default: 2.0)",
+    )
+    sp.add_argument(
+        "--backoff-base", type=float, default=0.5,
+        help="first restart delay in logical seconds (default: 0.5)",
+    )
+    sp.add_argument(
+        "--backoff-cap", type=float, default=8.0,
+        help="maximum restart delay in logical seconds (default: 8.0)",
+    )
+    sp.add_argument(
+        "--kill", action="append", default=[], metavar="INSTANCE",
+        help="fault drill: SIGKILL the worker hosting INSTANCE mid-run "
+             "(repeatable; exits non-zero unless the supervisor recovers it)",
+    )
+    sp.add_argument(
+        "--kill-at", action="append", type=float, default=[], metavar="T",
+        help="logical time of the matching --kill (default: 4s, spaced 2s)",
+    )
+    sp.add_argument(
+        "--settle", type=float, default=20.0,
+        help="extra logical seconds after the workload for supervised "
+             "restarts to land (only with --kill; default: 20)",
+    )
+    sp.set_defaults(fn=cmd_cluster)
 
     sp = sub.add_parser(
         "explore",

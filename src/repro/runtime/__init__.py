@@ -14,6 +14,7 @@ Public surface::
 
 from .channels import LinkConfig, Message, Network
 from .chaos import ChaosConfig, ChaosEngine, SoakHarness
+from .cluster import ClusterEngine
 from .delivery import DeliveryPolicy, LinkHealth, ReliableDelivery
 from .engine import (
     ExecutionEngine,
@@ -28,11 +29,14 @@ from .interpreter import JunctionExecution
 from .kvtable import KVTable, UNDEF, Update
 from .realtime import RealtimeEngine
 from .sim import Simulator
+from .supervisor import BackoffPolicy
 from .system import System
 
 __all__ = [
+    "BackoffPolicy",
     "ChaosConfig",
     "ChaosEngine",
+    "ClusterEngine",
     "DeliveryPolicy",
     "ExecutionEngine",
     "FaultPlan",

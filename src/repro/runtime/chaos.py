@@ -52,6 +52,10 @@ class ChaosConfig:
     #: crash/restart windows per target instance
     crash_storms: int = 2
     downtime: tuple[float, float] = (0.2, 1.5)
+    #: process kills per target instance (cluster engine: a real
+    #: SIGKILL of the hosting worker, recovered by the supervisor; other
+    #: engines: degrades to crash + scheduled restart)
+    process_kills: int = 0
     #: flap windows per target link
     link_flaps: int = 1
     flap_window: tuple[float, float] = (0.5, 2.0)
@@ -110,6 +114,23 @@ class ChaosEngine:
                 self._at(start, "crash", inst, lambda i=inst: self.plan.crash(i))
                 self._at(end, "restart", inst, lambda i=inst: self.plan.restart(i))
 
+    def schedule_process_kills(self, instances: Iterable[str]) -> None:
+        """Process-kill storms: each target gets ``process_kills``
+        SIGKILLs of its hosting worker.  Under a supervised engine
+        (cluster) recovery is the supervisor's job — no restart is
+        scheduled; on unsupervised engines the kill degrades to a crash
+        and the window's end restarts the instance, keeping the
+        schedule engine-portable."""
+        supervised = getattr(self.system.engine, "supervisor", None) is not None
+        for inst in instances:
+            self.system.instance(inst)  # unknown names fail at schedule time
+            for slot in self._slots(self.config.process_kills):
+                start, end = self._window(slot, self.config.downtime)
+                self._at(start, "kill_process", inst,
+                         lambda i=inst: self.plan.kill_process(i))
+                if not supervised:
+                    self._at(end, "restart", inst, lambda i=inst: self.plan.restart(i))
+
     def schedule_link_faults(self, links: Iterable[tuple[str, str]]) -> None:
         """Link flaps: each target link gets ``link_flaps`` windows of
         periodic up/down flapping."""
@@ -147,9 +168,15 @@ class ChaosEngine:
         self,
         instances: Sequence[str] = (),
         links: Sequence[tuple[str, str]] = (),
+        kills: Sequence[str] = (),
     ) -> list[tuple[float, str, str]]:
-        """Generate and install the full schedule; returns it sorted."""
+        """Generate and install the full schedule; returns it sorted.
+        ``kills`` targets get process-kill storms (when
+        ``config.process_kills`` > 0) in addition to whatever crash
+        storms ``instances`` get."""
         self.schedule_crashes(instances)
+        if self.config.process_kills > 0:
+            self.schedule_process_kills(kills)
         self.schedule_link_faults(links)
         self.schedule_loss_bursts()
         self.schedule_knobs()

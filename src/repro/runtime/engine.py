@@ -214,6 +214,20 @@ class ExecutionEngine:
             + self.executor.in_flight
         )
 
+    def drain(self, grace: float = 5.0) -> bool:
+        """Graceful shutdown: run until in-flight messages and host
+        calls settle, or ``grace`` logical seconds elapse.  Returns
+        True when fully drained.  Engines with external resources
+        (cluster workers) extend this; the default just runs the clock
+        against the in-flight counters."""
+        deadline = self.clock.now + max(grace, 0.0)
+        while (
+            self.transport.in_flight + self.executor.in_flight > 0
+            and self.clock.now < deadline
+        ):
+            self.clock.run_until(min(self.clock.now + 0.1, deadline))
+        return self.transport.in_flight + self.executor.in_flight == 0
+
     def close(self) -> None:
         """Release backend resources (threads, sockets, event loops).
         Idempotent; a no-op for the sim engine."""
@@ -246,14 +260,16 @@ class SimEngine(ExecutionEngine):
 
 #: engine specs accepted by ``create_engine`` / ``System(engine=...)`` /
 #: ``repro run --engine``
-ENGINE_NAMES = ("sim", "realtime", "realtime-tcp")
+ENGINE_NAMES = ("sim", "realtime", "realtime-tcp", "cluster")
 
 
 def create_engine(spec: str, **kw) -> ExecutionEngine:
     """Build an engine from its name: ``sim``, ``realtime`` (asyncio +
-    in-process channels) or ``realtime-tcp`` (asyncio + TCP loopback
-    channels).  Keyword arguments pass through to the engine
-    constructor (e.g. ``time_scale`` for the realtime backends)."""
+    in-process channels), ``realtime-tcp`` (asyncio + TCP loopback
+    channels) or ``cluster`` (one supervised OS process per instance or
+    shard group).  Keyword arguments pass through to the engine
+    constructor (e.g. ``time_scale`` for the realtime backends,
+    ``workers``/``heartbeat_timeout`` for the cluster backend)."""
     if spec == "sim":
         return SimEngine(**kw)
     if spec in ("realtime", "realtime-inproc"):
@@ -264,6 +280,10 @@ def create_engine(spec: str, **kw) -> ExecutionEngine:
         from .realtime import RealtimeEngine
 
         return RealtimeEngine(transport="tcp", **kw)
+    if spec == "cluster":
+        from .cluster import ClusterEngine
+
+        return ClusterEngine(**kw)
     raise ValueError(f"unknown engine {spec!r} (expected one of {ENGINE_NAMES})")
 
 

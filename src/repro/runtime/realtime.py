@@ -38,8 +38,9 @@ import concurrent.futures
 import os
 from typing import Callable
 
+from ..core.errors import SerdeError
 from .engine import Clock, ClockTransport, ExecutionEngine, Executor, Transport
-from .wire import LEN_PREFIX, decode_message, encode_message
+from .wire import decode_message, encode_message, frame, read_frame
 
 __all__ = [
     "RealtimeClock",
@@ -98,6 +99,16 @@ class RealtimeClock(Clock):
 
     def _wall(self, logical: float) -> float:
         return self._t0 + logical * self.time_scale
+
+    def rebase(self) -> None:
+        """Re-anchor logical zero to the current wall instant, so wall
+        time already spent (e.g. the cluster engine's worker spawn +
+        handshake burst) stops counting against the logical horizon.
+        Only valid while no timers are live — moving ``t0`` would shift
+        their wall deadlines — so this is a no-op otherwise."""
+        if self._live:
+            return
+        self._t0 = self.loop.time() - self._floor * self.time_scale
 
     # -- timers -------------------------------------------------------------
 
@@ -273,7 +284,7 @@ class TcpTransport(Transport):
             async with self._conn_lock:
                 if self._writer is None:
                     _, self._writer = await asyncio.open_connection("127.0.0.1", self.port)
-                self._writer.write(LEN_PREFIX.pack(len(body)) + body)
+                self._writer.write(frame(body))
                 await self._writer.drain()
         except (ConnectionError, OSError):
             self.in_flight -= 1  # transport torn down mid-send
@@ -281,13 +292,18 @@ class TcpTransport(Transport):
     async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         try:
             while True:
-                header = await reader.readexactly(LEN_PREFIX.size)
-                (length,) = LEN_PREFIX.unpack(header)
-                msg = decode_message(await reader.readexactly(length))
+                body = await read_frame(reader)
+                msg = decode_message(body)
                 self.in_flight -= 1
                 self.network.dispatch(msg)
         except (asyncio.IncompleteReadError, ConnectionResetError):
             pass  # peer went away: connection drained or reset
+        except SerdeError:
+            # corrupt prefix or garbage body: reject the stream — a
+            # framing error poisons everything after it on the
+            # connection, so the only clean recovery is to drop it and
+            # let sender-side retransmission re-establish traffic
+            self.network.count("wire_rejected")
         except asyncio.CancelledError:
             pass  # engine close() cancels the reader mid-await
         finally:

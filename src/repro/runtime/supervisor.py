@@ -1,0 +1,153 @@
+"""Crash supervision policy for the cluster engine.
+
+The mechanics of running worker processes (spawning, socket plumbing,
+frame routing) live in :mod:`repro.runtime.cluster`; this module holds
+the *policy* pieces the supervisor composes, mirroring how classic
+process supervisors (Erlang/OTP, systemd, s6) separate restart policy
+from process plumbing:
+
+* :class:`BackoffPolicy` — capped exponential restart backoff with
+  seeded jitter.  Delays are in **logical seconds** (the engine clock's
+  unit), so a compressed ``time_scale`` compresses supervision the same
+  way it compresses the workload.
+* :class:`WorkerState` / :class:`WorkerStatus` — the lifecycle of one
+  supervised worker process: ``running → down → restarting → running``
+  (or ``failed`` once the restart budget is exhausted).
+* :class:`SupervisorReport` — the operator-facing digest printed by
+  ``repro cluster`` and asserted by the recovery tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Backoff", "BackoffPolicy", "SupervisorReport", "WorkerState", "WorkerStatus"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with jitter, in logical seconds.
+
+    Attempt *n* (0-based) waits ``min(base * factor**n, cap)`` plus a
+    uniform jitter of up to ``jitter`` times that delay.  ``max_restarts``
+    bounds *consecutive* restart attempts; a worker that stays up for
+    ``stable_after`` logical seconds resets its attempt counter (the
+    standard supervisor convention, so a flapping worker escalates but
+    an occasional crash does not).  ``max_restarts=None`` retries
+    forever.
+    """
+
+    base: float = 0.5
+    factor: float = 2.0
+    cap: float = 8.0
+    jitter: float = 0.1
+    max_restarts: int | None = None
+    stable_after: float = 10.0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        d = min(self.base * (self.factor ** attempt), self.cap)
+        if self.jitter > 0.0:
+            d += rng.uniform(0.0, self.jitter * d)
+        return d
+
+
+class Backoff:
+    """Per-worker backoff state over a :class:`BackoffPolicy`."""
+
+    def __init__(self, policy: BackoffPolicy, rng: random.Random):
+        self.policy = policy
+        self._rng = rng
+        self.attempt = 0
+
+    def next_delay(self) -> float | None:
+        """The delay before the next restart attempt, or ``None`` when
+        the consecutive-restart budget is exhausted."""
+        if (
+            self.policy.max_restarts is not None
+            and self.attempt >= self.policy.max_restarts
+        ):
+            return None
+        d = self.policy.delay(self.attempt, self._rng)
+        self.attempt += 1
+        return d
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+
+class WorkerState(str, Enum):
+    """Lifecycle of one supervised worker process."""
+
+    RUNNING = "running"
+    DOWN = "down"            # crash detected, restart scheduled
+    RESTARTING = "restarting"  # new process spawned, handshake pending
+    FAILED = "failed"        # restart budget exhausted — gave up
+    STOPPED = "stopped"      # deliberately shut down (drain/close)
+
+
+@dataclass
+class WorkerStatus:
+    """Mutable supervision record of one worker."""
+
+    name: str
+    instances: tuple[str, ...]
+    state: WorkerState = WorkerState.RUNNING
+    pid: int | None = None
+    restarts: int = 0
+    crashes: int = 0
+    heartbeat_timeouts: int = 0
+    last_pong: float = 0.0       # logical time of the last heartbeat reply
+    last_crash_reason: str = ""
+    started_at: float = 0.0      # logical time the current process came up
+    #: a stale pong was observed on the last heartbeat tick; a crash is
+    #: declared only when staleness persists across *two* consecutive
+    #: ticks, so a coordinator stall (e.g. the blocking process spawn of
+    #: another worker's restart) cannot condemn a healthy worker whose
+    #: pong is sitting unprocessed in a socket buffer
+    suspect: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "instances": list(self.instances),
+            "state": self.state.value,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "heartbeat_timeouts": self.heartbeat_timeouts,
+            "last_crash_reason": self.last_crash_reason,
+        }
+
+
+@dataclass
+class SupervisorReport:
+    """Aggregate supervision digest (``ClusterSupervisor.report()``)."""
+
+    workers: int
+    crashes: int
+    restarts: int
+    heartbeat_timeouts: int
+    degraded: bool
+    statuses: list[WorkerStatus] = field(default_factory=list)
+
+    def recovered(self, names: tuple[str, ...] = ()) -> bool:
+        """True when every named worker (default: all) is running."""
+        targets = [s for s in self.statuses if not names or s.name in names]
+        return bool(targets) and all(
+            s.state is WorkerState.RUNNING for s in targets
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"cluster: workers={self.workers} crashes={self.crashes} "
+            f"restarts={self.restarts} heartbeat_timeouts={self.heartbeat_timeouts} "
+            f"degraded={self.degraded}"
+        ]
+        for s in self.statuses:
+            lines.append(
+                f"  worker {s.name} [{','.join(s.instances)}] state={s.state.value} "
+                f"pid={s.pid} restarts={s.restarts} crashes={s.crashes}"
+            )
+        return "\n".join(lines)

@@ -108,7 +108,12 @@ def _dec_generic(data: bytes, off: int):
         if len(raw) != n:
             raise SerdeError("truncated string/bytes")
         off += n
-        return (raw.decode("utf-8") if tag == b"s" else raw), off
+        if tag == b"b":
+            return raw, off
+        try:
+            return raw.decode("utf-8"), off
+        except UnicodeDecodeError as exc:
+            raise SerdeError(f"invalid utf-8 in string: {exc}") from exc
     if tag in (b"l", b"t"):
         if off + _LEN.size > len(data):
             raise SerdeError("truncated length prefix")

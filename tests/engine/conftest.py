@@ -1,0 +1,20 @@
+"""Engine-suite fixtures: cluster worker-process hygiene.
+
+Every cluster worker is spawned into its own process group and recorded
+in a module-level registry; this autouse fixture reaps anything still
+registered after each test and fails the test that leaked it, so a
+crashing test can never strand worker processes on CI.
+"""
+
+import pytest
+
+from repro.runtime.cluster import live_worker_pgids, reap_orphan_workers
+
+
+@pytest.fixture(autouse=True)
+def no_orphan_workers():
+    before = live_worker_pgids()
+    yield
+    leaked = reap_orphan_workers()
+    fresh = [pgid for pgid in leaked if pgid not in before]
+    assert not fresh, f"test leaked cluster worker process group(s): {fresh}"

@@ -1,0 +1,497 @@
+"""Cluster engine tests: real worker processes, crash supervision,
+heartbeats, restart-with-backoff, and backend parity with the sim.
+
+Wall-clock costs are kept low with aggressive time compression, but
+every test here spawns *real* OS processes and kills some of them —
+the supervision machinery under test is the real thing, not a mock.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.redislite import Command
+from repro.arch.failover import FailoverRedis
+from repro.core.errors import StartStopFailure
+from repro.runtime import ChaosConfig, ChaosEngine, FaultPlan, default_engine
+from repro.runtime.cluster import ClusterEngine, ClusterSupervisor, live_worker_pgids
+from repro.runtime.engine import ENGINE_NAMES, create_engine
+from repro.runtime.supervisor import Backoff, BackoffPolicy, WorkerState
+from repro.runtime import cluster_worker
+from repro.runtime.wire import LEN_PREFIX, MAX_FRAME_LEN
+
+from ..runtime.helpers import single_junction
+from .test_parity import SCALE, final_state, observable, sim_run
+
+#: logical-seconds supervision knobs shared by the tests: generous
+#: enough that CI scheduling jitter cannot produce false positives
+HB = dict(heartbeat_interval=0.5, heartbeat_timeout=2.0)
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Protocol / policy units
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerProtocol:
+    def test_frame_constants_match_wire(self):
+        # cluster_worker.py duplicates the wire constants to stay
+        # stdlib-only; they must never drift apart
+        assert cluster_worker.LEN_PREFIX.format == LEN_PREFIX.format
+        assert cluster_worker.LEN_PREFIX.size == LEN_PREFIX.size
+        assert cluster_worker.MAX_FRAME_LEN == MAX_FRAME_LEN
+
+    def test_worker_rejects_oversized_frame(self):
+        # a hostile coordinator cannot make the worker allocate: the
+        # length check precedes the body read and exits with code 2
+        import socket
+
+        srv = socket.socket()
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        port = srv.getsockname()[1]
+        proc = subprocess.Popen(
+            [sys.executable, cluster_worker.__file__,
+             "--connect", f"127.0.0.1:{port}", "--name", "w"],
+            stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL,
+        )
+        try:
+            conn, _ = srv.accept()
+            hello = cluster_worker.recv_frame(conn)
+            assert hello == cluster_worker.OP_HELLO + b"w"
+            conn.sendall(LEN_PREFIX.pack(MAX_FRAME_LEN + 1))
+            assert proc.wait(timeout=10) == 2
+        finally:
+            proc.kill()
+            proc.wait()
+            srv.close()
+
+
+class TestBackoffPolicy:
+    def test_exponential_with_cap(self):
+        pol = BackoffPolicy(base=0.5, factor=2.0, cap=3.0, jitter=0.0)
+        rng = random.Random(0)
+        assert [pol.delay(n, rng) for n in range(5)] == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_bounded(self):
+        pol = BackoffPolicy(base=1.0, factor=1.0, cap=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for n in range(50):
+            assert 1.0 <= pol.delay(n, rng) <= 1.5
+
+    def test_budget_exhaustion_and_reset(self):
+        b = Backoff(BackoffPolicy(base=1.0, jitter=0.0, max_restarts=2), random.Random(0))
+        assert b.next_delay() == 1.0
+        assert b.next_delay() == 2.0
+        assert b.next_delay() is None  # budget spent
+        b.reset()
+        assert b.next_delay() == 1.0  # stability resets the ladder
+
+    def test_group_assignment(self):
+        insts = ["c", "a", "b"]
+        assert ClusterSupervisor.assign_groups(insts, None) == [
+            ("a", ("a",)), ("b", ("b",)), ("c", ("c",))
+        ]
+        assert ClusterSupervisor.assign_groups(insts, 2) == [
+            ("w0", ("a", "c")), ("w1", ("b",))
+        ]
+        assert ClusterSupervisor.assign_groups(insts, 5) == [
+            ("a", ("a",)), ("b", ("b",)), ("c", ("c",))
+        ]
+        with pytest.raises(ValueError):
+            ClusterSupervisor.assign_groups(insts, 0)
+
+    def test_bad_heartbeat_config_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            ClusterEngine(time_scale=SCALE, heartbeat_interval=1.0,
+                          heartbeat_timeout=0.5).close()
+
+
+# ---------------------------------------------------------------------------
+# Deployment
+# ---------------------------------------------------------------------------
+
+
+class TestDeployment:
+    def test_engine_registered(self):
+        assert "cluster" in ENGINE_NAMES
+        eng = create_engine("cluster", time_scale=SCALE, **HB)
+        assert isinstance(eng, ClusterEngine) and eng.name == "cluster"
+        eng.close()
+
+    def test_one_process_per_instance(self):
+        eng = ClusterEngine(time_scale=SCALE, **HB)
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        status = eng.supervisor.status()
+        assert set(status) == {"x"}
+        pid = status["x"]["pid"]
+        assert pid is not None and pid != os.getpid() and _alive(pid)
+        assert pid in live_worker_pgids()
+        eng.close()
+        assert not _alive(pid)
+        assert pid not in live_worker_pgids()
+
+    def test_sharded_workers(self):
+        with default_engine(lambda: ClusterEngine(time_scale=SCALE, workers=2, **HB)):
+            svc = FailoverRedis(timeout=2.0, seed=0)
+        eng = svc.system.engine
+        status = eng.supervisor.status()
+        assert set(status) == {"w0", "w1"}
+        hosted = sorted(i for st in status.values() for i in st["instances"])
+        assert hosted == sorted(svc.system.instances)
+        pids = {st["pid"] for st in status.values()}
+        assert len(pids) == 2
+        svc.system.run_until(svc.system.now + 3.0)
+        assert not svc.system.failures
+        svc.system.shutdown()
+
+    def test_close_is_idempotent(self):
+        eng = ClusterEngine(time_scale=SCALE, **HB)
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(0.5)
+        eng.close()
+        eng.close()
+
+
+# ---------------------------------------------------------------------------
+# Parity with the sim engine
+# ---------------------------------------------------------------------------
+
+
+class TestParity:
+    def test_sharding_state_parity(self):
+        # strict tier: the same seeded workload through real worker
+        # processes lands in the same final KV state as the sim
+        from repro.explore.scenarios import arch_scenario
+
+        sim_state, _, sim_obs, sim_failures = sim_run("sharding")
+        with default_engine(lambda: ClusterEngine(time_scale=SCALE, **HB)):
+            sc = arch_scenario("sharding")
+            system = sc.run()
+        assert len(system.failures) == sim_failures == 0
+        assert final_state(system) == sim_state
+        assert observable(sc.observe(system)) == sim_obs
+        system.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Crash supervision
+# ---------------------------------------------------------------------------
+
+#: deterministic restart schedule for the failover drills: first retry
+#: 12 logical seconds after detection, no jitter.  The delay is chosen
+#: so every client op completes *before* the restarted replica can
+#: re-register — a fresh b1 rejoining mid-workload would race its empty
+#: replies against b2's, and the two arms restart a couple of logical
+#: seconds apart (worker spawn consumes wall time the cluster clock
+#: also counts)
+DRILL_BACKOFF = BackoffPolicy(base=12.0, jitter=0.0)
+
+#: the client workload both failover arms run: two ops before the
+#: fault, three during the backoff window (degraded mode), matching the
+#: exploration scenario's shape
+DRILL_OPS = (
+    ("SET", "a", b"1"),
+    ("SET", "b", b"x"),
+    ("SET", "a", b"2"),
+    ("GET", "a", None),
+    ("GET", "b", None),
+)
+
+
+def _drive_failover(svc, *, kill_after_op=2, kill=None):
+    """Run DRILL_OPS with 2-logical-second gaps, invoking ``kill``
+    after ``kill_after_op`` completed ops; returns the client history."""
+    history = []
+    clock = svc.system.clock
+
+    def submit(kind, key, value):
+        cmd = Command(kind, key, value) if kind == "SET" else Command(kind, key)
+        svc.submit(
+            cmd,
+            lambda r, k=kind, ky=key, v=value: history.append(
+                (k, ky, v if k == "SET" else r.value, bool(r.ok))
+            ),
+        )
+
+    for i, (kind, key, value) in enumerate(DRILL_OPS):
+        if i == kill_after_op and kill is not None:
+            kill()
+            svc.system.run_until(clock.now + 2.0)
+        submit(kind, key, value)
+        svc.system.run_until(clock.now + 2.0)
+    svc.system.run_until(clock.now + 25.0)  # backoff + restart + settle
+    return history
+
+
+class TestCrashSupervision:
+    def test_sigkill_failover_parity_with_sim(self):
+        """The acceptance drill: SIGKILL one replica's worker mid-load.
+        The surviving replica keeps serving (degraded mode), the
+        supervisor restarts the worker after backoff, and the client
+        history matches a sim run with the equivalent simulated fault."""
+        # sim arm: simulated crash + scheduled restart at the same
+        # logical offsets the supervisor will produce
+        svc_sim = FailoverRedis(timeout=2.0, seed=0)
+        plan = FaultPlan(svc_sim.system)
+
+        def sim_kill():
+            plan.crash("b1")
+            plan.restart_at(svc_sim.system.now + 12.0, "b1")
+
+        sim_hist = _drive_failover(svc_sim, kill=sim_kill)
+        assert svc_sim.system.instances["b1"].alive
+
+        # cluster arm: a real SIGKILL, recovered by the supervisor
+        with default_engine(
+            lambda: ClusterEngine(time_scale=SCALE, backoff=DRILL_BACKOFF, **HB)
+        ):
+            svc = FailoverRedis(timeout=2.0, seed=0)
+        sup = svc.system.engine.supervisor
+        cl_hist = _drive_failover(svc, kill=lambda: sup.kill("b1"))
+
+        st = sup.statuses["b1"]
+        assert st.state is WorkerState.RUNNING and st.crashes == 1 and st.restarts == 1
+        assert svc.system.instances["b1"].alive
+        assert sup.report().recovered()
+        assert not svc.system.failures and not svc_sim.system.failures
+        # observable parity: client-visible results match the sim run
+        assert cl_hist == sim_hist
+        assert [ok for (_, _, _, ok) in cl_hist] == [True] * len(DRILL_OPS)
+        svc.system.shutdown()
+
+    def test_worker_kill_crashes_instance_immediately(self):
+        eng = ClusterEngine(
+            time_scale=SCALE, backoff=BackoffPolicy(base=2.0, jitter=0.0), **HB
+        )
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        old_pid = eng.supervisor.worker_pid("x")
+        eng.supervisor.kill("x")
+        eng.run_until(eng.clock.now + 3.0)
+        # EOF detection: the instance is down well before any heartbeat
+        # timeout could have fired
+        assert sys_.instances["x"].crashed
+        assert eng.supervisor.statuses["x"].last_crash_reason in (
+            "connection lost", "process exit (code -9)",
+        )
+        assert eng.supervisor.degraded
+        eng.run_until(eng.clock.now + 12.0)  # backoff 2.0 + spawn + handshake
+        assert sys_.instances["x"].alive
+        assert eng.supervisor.worker_pid("x") != old_pid
+        assert not eng.supervisor.degraded
+        eng.close()
+
+    def test_heartbeat_detects_wedged_worker(self):
+        # SIGSTOP wedges the process without killing it: the socket
+        # stays open, so only the heartbeat timeout can catch this
+        eng = ClusterEngine(
+            time_scale=SCALE, backoff=BackoffPolicy(base=1.0, jitter=0.0), **HB
+        )
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        os.killpg(eng.supervisor.worker_pid("x"), signal.SIGSTOP)
+        eng.run_until(eng.clock.now + 12.0)
+        st = eng.supervisor.statuses["x"]
+        assert st.heartbeat_timeouts >= 1
+        assert st.last_crash_reason == "missed heartbeats"
+        assert st.state is WorkerState.RUNNING and st.restarts >= 1
+        eng.close()
+
+    def test_restart_budget_exhaustion_fails_worker(self):
+        eng = ClusterEngine(
+            time_scale=SCALE,
+            backoff=BackoffPolicy(base=0.5, jitter=0.0, max_restarts=0),
+            **HB,
+        )
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        eng.supervisor.kill("x")
+        eng.run_until(eng.clock.now + 6.0)
+        st = eng.supervisor.statuses["x"]
+        assert st.state is WorkerState.FAILED
+        assert sys_.instances["x"].crashed  # stays down: budget spent
+        assert eng.supervisor.degraded
+        assert not eng.supervisor.report().recovered()
+        eng.close()
+
+    def test_architecture_revival_wins_restart_race(self):
+        # if the architecture restarts the instance before the worker
+        # handshake completes, restart_instance raises and the
+        # supervisor must yield rather than crash
+        eng = ClusterEngine(time_scale=SCALE, backoff=DRILL_BACKOFF, **HB)
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        eng.supervisor.kill("x")
+        eng.run_until(eng.clock.now + 3.0)
+        assert sys_.instances["x"].crashed
+        sys_.restart_instance("x")  # the architecture revives it first
+        eng.run_until(eng.clock.now + 16.0)
+        assert sys_.instances["x"].alive
+        assert eng.supervisor.statuses["x"].state is WorkerState.RUNNING
+        eng.close()
+
+    def test_scheduled_fault_drills(self):
+        eng = ClusterEngine(
+            time_scale=SCALE, backoff=DRILL_BACKOFF, drills=[(2.0, "x")], **HB
+        )
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(25.0)
+        st = eng.supervisor.statuses["x"]
+        assert st.crashes == 1 and st.restarts == 1
+        assert st.state is WorkerState.RUNNING
+        eng.close()
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan / chaos integration
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSurface:
+    def test_kill_process_on_cluster_uses_supervisor(self):
+        eng = ClusterEngine(time_scale=SCALE, backoff=DRILL_BACKOFF, **HB)
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        plan = FaultPlan(sys_)
+        plan.kill_process("x")
+        eng.run_until(eng.clock.now + 3.0)
+        assert sys_.instances["x"].crashed
+        assert eng.supervisor.statuses["x"].crashes == 1
+        assert any(k == "kill_process" for (_, k, _) in plan.injected)
+        eng.close()
+
+    def test_kill_process_degrades_to_crash_on_sim(self):
+        sys_ = single_junction("skip")
+        sys_.start()
+        sys_.run_until(1.0)
+        plan = FaultPlan(sys_)
+        plan.kill_process("x")
+        assert sys_.instances["x"].crashed
+        detail = next(d for (_, k, d) in plan.injected if k == "kill_process")
+        assert "no supervisor" in detail
+        sys_.restart_instance("x")
+        assert sys_.instances["x"].alive
+        with pytest.raises(StartStopFailure):
+            sys_.restart_instance("x")  # not crashed any more
+
+    def test_chaos_schedules_process_kills(self):
+        sys_ = single_junction("skip")
+        sys_.start()
+        chaos = ChaosEngine(
+            sys_, seed=3,
+            config=ChaosConfig(horizon=10.0, crash_storms=0, process_kills=2,
+                               link_flaps=0, loss_bursts=0),
+        )
+        events = chaos.schedule(kills=["x"])
+        kills = [e for e in events if e[1] == "kill_process"]
+        restarts = [e for e in events if e[1] == "restart"]
+        # unsupervised engine: each kill degrades to crash + restart
+        assert len(kills) == 2 and len(restarts) == 2
+        sys_.run_until(12.0)
+        assert sys_.instances["x"].alive
+        assert not sys_.failures
+
+    def test_chaos_leaves_recovery_to_supervisor_on_cluster(self):
+        eng = ClusterEngine(
+            time_scale=SCALE, backoff=BackoffPolicy(base=0.5, jitter=0.0), **HB
+        )
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        chaos = ChaosEngine(
+            sys_, seed=3,
+            config=ChaosConfig(horizon=6.0, crash_storms=0, process_kills=1,
+                               link_flaps=0, loss_bursts=0),
+        )
+        events = chaos.schedule(kills=["x"])
+        assert [e[1] for e in events] == ["kill_process"]  # no paired restart
+        eng.run_until(20.0)
+        assert sys_.instances["x"].alive  # the supervisor recovered it
+        assert eng.supervisor.statuses["x"].restarts >= 1
+        eng.close()
+
+
+# ---------------------------------------------------------------------------
+# Drain / shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_stops_workers_cleanly(self):
+        eng = ClusterEngine(time_scale=SCALE, **HB)
+        sys_ = single_junction("skip", engine=eng)
+        sys_.start()
+        eng.run_until(1.0)
+        pid = eng.supervisor.worker_pid("x")
+        assert eng.drain(grace=2.0) is True
+        assert eng.supervisor.statuses["x"].state is WorkerState.STOPPED
+        assert not _alive(pid)
+        eng.close()
+
+    def test_repro_run_realtime_sigterm_drains(self):
+        # the graceful-shutdown satellite, end to end: SIGTERM a live
+        # `repro run --engine realtime` and expect a drained summary
+        # and exit code 0 instead of a mid-write death
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "run", "failover",
+             "--engine", "realtime", "--time-scale", "1.0", "--until", "300"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            time.sleep(3.0)  # mid-workload (horizon is 300 logical s)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 0, out
+        assert "drained=clean" in out
+        assert "engine=realtime" in out
+
+    def test_repro_cluster_cli_fault_drill(self):
+        # the CLI drill the cluster-smoke CI job runs, in-process
+        from repro.cli import main
+
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            # 20x compression (not 50x): the first op's cold-start wall
+            # latency through the double-socket relay must stay inside
+            # the failover timeout budget
+            rc = main([
+                "cluster", "failover", "--time-scale", "0.05",
+                "--kill", "b1", "--kill-at", "4", "--until", "20",
+            ])
+        out = buf.getvalue()
+        assert rc == 0, out
+        assert "recovered=True" in out
+        assert "crashes=1" in out
