@@ -18,10 +18,19 @@ The surface covers the four things an embedding application touches:
   packaged paper architectures via ``load_program`` / ``ARCHITECTURES``;
 * **the runtime** — ``System``, the pluggable execution engines
   (``SimEngine`` / ``RealtimeEngine`` / ``ClusterEngine`` via
-  ``create_engine`` / ``default_engine``; see ``docs/RUNTIME.md``), the
-  ``Simulator`` clock, and the delivery/fault knobs (``DeliveryPolicy``,
-  ``FaultPlan``, ``BackoffPolicy``, ``ChaosConfig`` / ``ChaosEngine`` /
+  ``create_engine`` / ``default_engine``, selected uniformly through
+  ``EngineSpec``; see ``docs/RUNTIME.md``), the ``Simulator`` clock,
+  and the delivery/fault knobs (``DeliveryPolicy``, ``FaultPlan``,
+  ``BackoffPolicy``, ``ChaosConfig`` / ``ChaosEngine`` /
   ``SoakHarness``);
+* **the compiler** — junction compilation happens automatically at
+  ``System`` build time; ``compilation`` / ``compile_default`` select
+  the mode, ``generated_source`` dumps a junction's generated Python
+  for debugging, and ``compile_junction_code`` is the per-junction
+  entry point (see ``docs/RUNTIME.md``);
+* **the semantics** — ``denote_junction`` maps one junction to its
+  event structure (``expand=False`` for the linear-size unexpanded
+  form used by analysis/compile consumers);
 * **observability** — the ``Telemetry`` facade (``system.telemetry``)
   and its metric/exporter types; see ``docs/OBSERVABILITY.md``;
 * **errors** — the ``CSawError`` hierarchy root and the failure types
@@ -31,6 +40,13 @@ The surface covers the four things an embedding application touches:
 from __future__ import annotations
 
 from .arch.loader import ARCHITECTURES, backend_names, load_program, load_source
+from .compile import (
+    JunctionCode,
+    compilation,
+    compile_default,
+    compile_junction_code,
+    generated_source,
+)
 from .core.compiler import CompiledProgram, compile_program
 from .core.errors import CSawError, DeliveryFailure, DslFailure
 from .core.parser import parse_program
@@ -40,6 +56,7 @@ from .runtime import (
     ChaosEngine,
     ClusterEngine,
     DeliveryPolicy,
+    EngineSpec,
     ExecutionEngine,
     FaultPlan,
     HostContext,
@@ -51,6 +68,7 @@ from .runtime import (
     create_engine,
     default_engine,
 )
+from .semantics import denote_junction
 from .telemetry import (
     MetricsRegistry,
     RingBufferSink,
@@ -68,12 +86,21 @@ __all__ = [
     "load_program",
     "load_source",
     "parse_program",
+    # semantics
+    "denote_junction",
+    # compiler
+    "JunctionCode",
+    "compilation",
+    "compile_default",
+    "compile_junction_code",
+    "generated_source",
     # runtime
     "BackoffPolicy",
     "ChaosConfig",
     "ChaosEngine",
     "ClusterEngine",
     "DeliveryPolicy",
+    "EngineSpec",
     "ExecutionEngine",
     "FaultPlan",
     "HostContext",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from ..runtime.engine import SimEngine
 from ..runtime.faults import FaultPlan
 from ..runtime.system import System
 from .loader import load_program
@@ -76,7 +77,10 @@ class CheckpointedService:
         self.target = target
         self._stall_fn = stall
         self.program = load_program("checkpointing")
-        self.system = system or System(self.program, latency=latency, seed=seed, sim=sim)
+        self.system = system or System(
+            self.program, latency=latency, seed=seed,
+            engine=SimEngine(sim) if sim is not None else None,
+        )
         self.checkpoints = 0
         self.restores = 0
         self.checkpoint_times: list[float] = []

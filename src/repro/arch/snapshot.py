@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..curlite.client import AuditHook
+from ..runtime.engine import SimEngine
 from ..runtime.system import System
 from .loader import load_program
 
@@ -63,7 +64,10 @@ class RemoteAuditor:
         self.placement = placement
         self.snapshot_cost = snapshot_cost
         self.program = load_program("remote_snapshot")
-        self.system = System(self.program, latency=latency, seed=seed, sim=sim)
+        self.system = System(
+            self.program, latency=latency, seed=seed,
+            engine=SimEngine(sim) if sim is not None else None,
+        )
         sys_ = self.system
 
         self.act = _ActApp()

@@ -22,7 +22,8 @@ Commands:
                   causal trace as JSONL or Chrome trace-event JSON
                   (loadable in ``chrome://tracing`` / Perfetto).
 * ``run``       — execute an architecture on a chosen execution engine
-                  (``--engine sim|realtime|realtime-tcp|cluster``);
+                  (``--engine`` takes an EngineSpec string such as
+                  ``realtime,time_scale=0.05`` or ``sim,compiled=off``);
                   SIGINT/SIGTERM drain in-flight work before the
                   summary instead of dying mid-write.
 * ``cluster``   — deploy across supervised worker processes (one OS
@@ -60,6 +61,57 @@ from .core.parser import parse_program
 from .core.topology import topology
 from .semantics.program_sem import denote_program
 from .semantics.render import to_dot, to_text
+
+
+def _engine_spec(args, *, command: str, default: str = "sim",
+                 default_time_scale: float | None = None):
+    """Resolve the subcommand's ``--engine`` value to an
+    :class:`~repro.runtime.engine.EngineSpec`, folding the deprecated
+    per-flag forms (``--time-scale``, ``--workers``) in with a
+    :class:`DeprecationWarning`."""
+    import dataclasses
+    import warnings
+
+    from .runtime.engine import EngineSpec
+
+    spec = EngineSpec.of(getattr(args, "engine", None) or default)
+    ts = getattr(args, "time_scale", None)
+    if ts is not None:
+        warnings.warn(
+            f"repro {command}: --time-scale is deprecated; use "
+            f"--engine {spec.name},time_scale={ts}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if spec.time_scale is None and spec.name != "sim":
+            spec = dataclasses.replace(spec, time_scale=ts)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        warnings.warn(
+            f"repro {command}: --workers is deprecated; use "
+            f"--engine {spec.name},workers={workers}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if spec.workers is None:
+            spec = dataclasses.replace(spec, workers=workers)
+    if default_time_scale is not None and spec.name != "sim" and spec.time_scale is None:
+        # the CLI compresses wall-clock engines by default (the engine
+        # constructors themselves default to real time)
+        spec = dataclasses.replace(spec, time_scale=default_time_scale)
+    return spec
+
+
+def _compile_ctx(spec):
+    """A context applying the spec's compile mode (``compiled=on/off``)
+    to every System built inside it; a no-op when the spec is silent."""
+    import contextlib
+
+    if spec.compiled is None:
+        return contextlib.nullcontext()
+    from .compile import compilation
+
+    return compilation(spec.compiled)
 
 
 def _parse_config(pairs: list[str]) -> dict:
@@ -274,24 +326,35 @@ def _trace_py(path: Path) -> list:
     return captured
 
 
-def _trace_csaw(path: Path, config: dict, until: float) -> list:
+def _trace_csaw(path: Path, config: dict, until: float, spec) -> list:
     from .runtime.system import System
 
     prog = compile_program(path.read_text(), config=config)
-    system = System(prog)
+    system = System(prog, engine=spec)
     system.start()
     system.run_until(until)
     return [system.telemetry]
 
 
 def cmd_trace(args) -> int:
+    from .runtime.engine import default_engine
     from .telemetry.sinks import chrome_json, to_jsonl
 
+    spec = _engine_spec(args, command="trace")
     path = Path(args.file)
-    if path.suffix == ".py":
-        telemetries = _trace_py(path)
-    else:
-        telemetries = _trace_csaw(path, _parse_config(args.config), args.until)
+    with _compile_ctx(spec):
+        if path.suffix == ".py":
+            if args.engine is not None:
+                # an explicit spec reroutes every System the script
+                # builds (scripts passing their own engine keep it)
+                with default_engine(spec):
+                    telemetries = _trace_py(path)
+            else:
+                telemetries = _trace_py(path)
+        else:
+            telemetries = _trace_csaw(
+                path, _parse_config(args.config), args.until, spec
+            )
     if not telemetries:
         print("error: the traced program constructed no System", file=sys.stderr)
         return 1
@@ -392,10 +455,12 @@ class _graceful_signals:
         return False
 
 
-def _run_workload(args, factory, holder=None):
+def _run_workload(args, engine, holder=None):
     """The shared ``repro run`` / ``repro cluster`` drive: a shipped
     scenario name runs its exploration workload, anything else loads as
-    a ``.csaw`` file with stubbed host bindings.  Returns the system."""
+    a ``.csaw`` file with stubbed host bindings.  ``engine`` is an
+    :class:`~repro.runtime.engine.EngineSpec` or a zero-arg engine
+    factory.  Returns the system."""
     from .explore.scenarios import _ARCH_SCENARIOS, arch_scenario
     from .runtime.engine import default_engine
 
@@ -407,7 +472,7 @@ def _run_workload(args, factory, holder=None):
             sc.horizon = args.until
         if holder is not None:
             holder.append(sc)
-        with default_engine(factory):
+        with default_engine(engine):
             return sc.run()
     from .arch.loader import expand_placeholders
     from .core.compiler import compile_program
@@ -417,7 +482,7 @@ def _run_workload(args, factory, holder=None):
     if "@BACKENDS@" in text:
         text = expand_placeholders(text)
     prog = compile_program(text, config=_parse_config(args.config))
-    system = System(prog, engine=factory())
+    system = System(prog, engine=engine() if callable(engine) else engine)
     if holder is not None:
         holder.append(system)
     stubbed = _stub_bindings(system)
@@ -465,19 +530,14 @@ def _print_summary(args, system, wall: float, *, drained: str | None = None) -> 
 def cmd_run(args) -> int:
     import time as _time
 
-    from .runtime.engine import create_engine
-
-    kw = {}
-    if args.engine != "sim":
-        kw["time_scale"] = args.time_scale
-    factory = lambda: create_engine(args.engine, **kw)  # noqa: E731
+    spec = _engine_spec(args, command="run", default_time_scale=0.05)
 
     holder: list = []
     wall0 = _time.perf_counter()
     drained: str | None = None
     try:
-        with _graceful_signals(enabled=args.engine != "sim"):
-            system = _run_workload(args, factory, holder)
+        with _compile_ctx(spec), _graceful_signals(enabled=spec.name != "sim"):
+            system = _run_workload(args, spec, holder)
     except _GracefulSignal as sig:
         system = _recover_system(holder)
         if system is None:
@@ -510,17 +570,27 @@ def cmd_cluster(args) -> int:
         kill_times.append(last + 2.0)
     drills = list(zip(kill_times, kills))
 
+    spec = _engine_spec(
+        args, command="cluster", default="cluster", default_time_scale=0.05
+    )
+    if spec.name != "cluster":
+        raise SystemExit(
+            f"error: repro cluster deploys on the cluster engine, "
+            f"got --engine {spec.name}"
+        )
+
     backoff = BackoffPolicy(base=args.backoff_base, cap=args.backoff_cap)
     engines: list[ClusterEngine] = []
 
     def factory() -> ClusterEngine:
         e = ClusterEngine(
-            workers=args.workers,
-            time_scale=args.time_scale,
+            workers=spec.workers,
+            time_scale=spec.time_scale,
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
             backoff=backoff,
             drills=drills,
+            **dict(spec.options),
         )
         engines.append(e)
         return e
@@ -530,7 +600,7 @@ def cmd_cluster(args) -> int:
     drained: str | None = None
     interrupted = False
     try:
-        with _graceful_signals():
+        with _compile_ctx(spec), _graceful_signals():
             system = _run_workload(args, factory, holder)
             if drills:
                 # give supervised restarts room to land after the
@@ -651,6 +721,14 @@ def cmd_explore(args) -> int:
 
     from .explore import explore
 
+    spec = _engine_spec(args, command="explore")
+    if spec.name != "sim":
+        raise SystemExit(
+            f"error: explore requires the sim engine (controlled "
+            f"scheduling), got --engine {spec.name}"
+        )
+    # spec.compiled is accepted but moot: controlled scheduling always
+    # runs the interpreter so event labels match recorded schedules
     scenario = _explore_scenario(args)
     if args.replay:
         return _explore_replay(args, scenario)
@@ -764,6 +842,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--until", type=float, default=60.0,
         help="simulated seconds to run a .csaw file for (default: 60)",
     )
+    sp.add_argument(
+        "--engine", metavar="SPEC", default=None,
+        help="engine spec, e.g. sim, sim,compiled=off, "
+             "realtime,time_scale=0.05 (default: sim)",
+    )
     sp.add_argument("--out", help="write to this file instead of stdout")
     sp.set_defaults(fn=cmd_trace)
 
@@ -780,20 +863,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="load-time configuration (for .csaw files); repeatable",
     )
     sp.add_argument(
-        "--engine", choices=("sim", "realtime", "realtime-tcp", "cluster"),
-        default="sim",
-        help="execution engine: deterministic simulation, asyncio wall-clock "
-             "with in-process channels, asyncio with TCP loopback channels, "
-             "or supervised multi-process deployment (default: sim)",
+        "--engine", metavar="SPEC", default="sim",
+        help="engine spec: sim | realtime | realtime-tcp | cluster plus "
+             "key=value options, e.g. realtime,time_scale=0.05 or "
+             "sim,compiled=off (default: sim)",
     )
     sp.add_argument(
         "--until", type=float, default=None,
         help="logical-seconds horizon (default: the scenario's own, or 30)",
     )
     sp.add_argument(
-        "--time-scale", type=float, default=0.05,
-        help="realtime engines: wall seconds per logical second "
-             "(default: 0.05 — 20x compression)",
+        "--time-scale", type=float, default=None,
+        help="deprecated: use --engine NAME,time_scale=X",
     )
     sp.set_defaults(fn=cmd_run)
 
@@ -812,17 +893,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="load-time configuration (for .csaw files); repeatable",
     )
     sp.add_argument(
+        "--engine", metavar="SPEC", default="cluster",
+        help="engine spec (name must be cluster), e.g. "
+             "cluster,workers=4,time_scale=0.05 (default: cluster)",
+    )
+    sp.add_argument(
         "--workers", type=int, default=None,
-        help="shard instances across N worker processes "
-             "(default: one worker per instance)",
+        help="deprecated: use --engine cluster,workers=N",
     )
     sp.add_argument(
         "--until", type=float, default=None,
         help="logical-seconds horizon (default: the scenario's own, or 30)",
     )
     sp.add_argument(
-        "--time-scale", type=float, default=0.05,
-        help="wall seconds per logical second (default: 0.05)",
+        "--time-scale", type=float, default=None,
+        help="deprecated: use --engine cluster,time_scale=X",
     )
     sp.add_argument(
         "--heartbeat-interval", type=float, default=0.5,
@@ -889,6 +974,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--seed", type=int, default=0, help="seed for the random strategy"
+    )
+    sp.add_argument(
+        "--engine", metavar="SPEC", default=None,
+        help="engine spec; accepted for uniformity but must name sim "
+             "(exploration needs controlled scheduling)",
     )
     sp.add_argument(
         "--until", type=float, default=None,

@@ -17,6 +17,7 @@ from .chaos import ChaosConfig, ChaosEngine, SoakHarness
 from .cluster import ClusterEngine
 from .delivery import DeliveryPolicy, LinkHealth, ReliableDelivery
 from .engine import (
+    EngineSpec,
     ExecutionEngine,
     SimEngine,
     create_engine,
@@ -38,6 +39,7 @@ __all__ = [
     "ChaosEngine",
     "ClusterEngine",
     "DeliveryPolicy",
+    "EngineSpec",
     "ExecutionEngine",
     "FaultPlan",
     "HostContext",

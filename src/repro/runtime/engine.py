@@ -48,6 +48,7 @@ combination otherwise instead of silently ignoring the controller.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from typing import TYPE_CHECKING, Callable
 
 from .sim import EventHandle, ScheduleController, Simulator, use_controller
@@ -59,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "Clock",
     "ClockTransport",
+    "EngineSpec",
     "ExecutionEngine",
     "Executor",
     "InlineExecutor",
@@ -90,6 +92,14 @@ class Clock:
     def call_after(self, delay: float, callback: Callable[[], None], priority: int = 0,
                    *, label: str | None = None, footprint: object = None) -> EventHandle:
         raise NotImplementedError
+
+    def post(self, callback: Callable[[], None],
+             *, label: str | None = None, footprint: object = None) -> None:
+        """Fire-and-forget zero-delay schedule (no cancellation handle).
+        Semantically ``call_after(0, callback)``; hot paths that never
+        cancel (junction attempts, strand pumps) use it to skip the
+        handle allocation.  The default delegates to :meth:`call_after`."""
+        self.call_after(0.0, callback, label=label, footprint=footprint)
 
     def run_until(self, time: float) -> None:
         raise NotImplementedError
@@ -263,6 +273,137 @@ class SimEngine(ExecutionEngine):
 ENGINE_NAMES = ("sim", "realtime", "realtime-tcp", "cluster")
 
 
+_TRUE_WORDS = ("1", "true", "yes", "on")
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineSpec:
+    """One value describing *how to execute* a System: the engine
+    backend plus its options plus the compile mode.
+
+    Before this existed, the same choice was scattered across
+    ``System(engine=...)``, ``default_engine()``, and per-subcommand CLI
+    flags (``--time-scale``, ``--workers``).  An ``EngineSpec`` is
+    accepted uniformly by :class:`~repro.runtime.system.System`,
+    :func:`default_engine`, and every CLI subcommand's ``--engine``
+    flag, with a single textual form::
+
+        sim
+        sim,compiled=off
+        realtime,time_scale=0.05
+        realtime-tcp
+        cluster,workers=4
+
+    ``compiled`` selects junction compilation (``None`` = ambient
+    default, see :func:`repro.compile.compilation`); it is a System
+    concern, not an engine constructor argument.  ``options`` carries
+    any further ``key=value`` pairs through to the engine constructor
+    (e.g. ``heartbeat_timeout`` for the cluster backend).
+    """
+
+    name: str = "sim"
+    workers: int | None = None
+    time_scale: float | None = None
+    compiled: bool | None = None
+    options: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, spec: "EngineSpec | str | None") -> "EngineSpec":
+        """Coerce a spec-like value (EngineSpec, spec string, None)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, EngineSpec):
+            return spec
+        if isinstance(spec, str):
+            return cls.parse(spec)
+        raise TypeError(f"cannot build an EngineSpec from {spec!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "EngineSpec":
+        """Parse the textual form (``name[,key=value...]``)."""
+        parts = [p.strip() for p in text.split(",") if p.strip()]
+        if not parts:
+            raise ValueError("empty engine spec")
+        name = "sim"
+        if "=" not in parts[0]:
+            name = parts[0]
+            parts = parts[1:]
+        workers = time_scale = compiled = None
+        options: list[tuple[str, object]] = []
+        for part in parts:
+            if "=" not in part:
+                raise ValueError(
+                    f"bad engine option {part!r} (expected key=value)"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            if key == "workers":
+                workers = int(raw)
+            elif key == "time_scale":
+                time_scale = float(raw)
+            elif key == "compiled":
+                if raw.lower() in _TRUE_WORDS:
+                    compiled = True
+                elif raw.lower() in _FALSE_WORDS:
+                    compiled = False
+                else:
+                    raise ValueError(
+                        f"bad value for compiled: {raw!r} (expected on/off)"
+                    )
+            else:
+                options.append((key, _parse_option_value(raw)))
+        return cls(
+            name=name,
+            workers=workers,
+            time_scale=time_scale,
+            compiled=compiled,
+            options=tuple(sorted(options)),
+        )
+
+    def engine_kwargs(self) -> dict:
+        """Constructor keyword arguments for :func:`create_engine`
+        (everything except ``compiled``, which Systems interpret)."""
+        kw: dict[str, object] = dict(self.options)
+        if self.workers is not None:
+            kw["workers"] = self.workers
+        if self.time_scale is not None:
+            kw["time_scale"] = self.time_scale
+        return kw
+
+    def create(self) -> "ExecutionEngine":
+        """Build a fresh engine for this spec."""
+        return create_engine(self.name, **self.engine_kwargs())
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        if self.workers is not None:
+            parts.append(f"workers={self.workers}")
+        if self.time_scale is not None:
+            parts.append(f"time_scale={self.time_scale}")
+        if self.compiled is not None:
+            parts.append(f"compiled={'on' if self.compiled else 'off'}")
+        parts.extend(f"{k}={v}" for k, v in self.options)
+        return ",".join(parts)
+
+
+def _parse_option_value(raw: str) -> object:
+    if raw.lower() in _TRUE_WORDS:
+        return True
+    if raw.lower() in _FALSE_WORDS:
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
 def create_engine(spec: str, **kw) -> ExecutionEngine:
     """Build an engine from its name: ``sim``, ``realtime`` (asyncio +
     in-process channels), ``realtime-tcp`` (asyncio + TCP loopback
@@ -292,27 +433,43 @@ def create_engine(spec: str, **kw) -> ExecutionEngine:
 #: needed because architecture wrappers build and start their System
 #: inside ``__init__``, before a caller could hand one in
 _engine_factory: Callable[[], ExecutionEngine] | None = None
+#: the EngineSpec behind the ambient factory, when one was given — lets
+#: Systems inherit spec-level settings (``compiled``) too
+_engine_spec: EngineSpec | None = None
 
 
 @contextlib.contextmanager
-def default_engine(factory: Callable[[], ExecutionEngine]):
+def default_engine(factory: "Callable[[], ExecutionEngine] | EngineSpec | str"):
     """Make every :class:`System` constructed inside the ``with`` block
-    default to ``factory()``'s engine (one fresh engine per system)::
+    default to the given engine (one fresh engine per system).  Accepts
+    a factory callable, an :class:`EngineSpec`, or a spec string::
 
         with default_engine(lambda: RealtimeEngine(time_scale=0.05)):
             svc = FailoverRedis(seed=7)
+        with default_engine("realtime,time_scale=0.05,compiled=off"):
+            svc = FailoverRedis(seed=7)
     """
-    global _engine_factory
-    prev = _engine_factory
-    _engine_factory = factory
+    global _engine_factory, _engine_spec
+    spec: EngineSpec | None = None
+    if isinstance(factory, (EngineSpec, str)):
+        spec = EngineSpec.of(factory)
+        fac = spec.create
+    else:
+        fac = factory
+    prev = (_engine_factory, _engine_spec)
+    _engine_factory, _engine_spec = fac, spec
     try:
         yield
     finally:
-        _engine_factory = prev
+        _engine_factory, _engine_spec = prev
 
 
 def _default_engine_factory() -> Callable[[], ExecutionEngine] | None:
     return _engine_factory
+
+
+def _default_engine_spec() -> EngineSpec | None:
+    return _engine_spec
 
 
 def controller_pending() -> bool:

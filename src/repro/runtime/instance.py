@@ -18,6 +18,7 @@ from typing import Callable, Mapping
 from ..core import ast as A
 from ..core.compiler import CompiledJunction
 from ..core.errors import CompileError
+from ..semantics.commute import Footprint, key_token, node_token
 from .kvtable import KVTable, UNDEF
 
 
@@ -87,6 +88,22 @@ class JunctionRuntime:
         self.set_values: dict[str, tuple] = {}
         self.data_names: set[str] = set()
         self.prop_names: set[str] = set()
+        #: compiled guard/body (``repro.compile.JunctionCode``), set at
+        #: instance bind time when compilation is enabled; None runs the
+        #: tree-walking interpreter
+        self.code = None
+        # hot-path caches: schedule-replay labels/footprints and
+        # telemetry handles are per-junction constants — building them
+        # per event dominated the interpreter's scheduling overhead
+        self._label_pump = f"pump:{self.node}"
+        self._label_sleep = f"sleep-wake:{self.node}"
+        self._label_deadline = f"deadline:{self.node}"
+        self._label_attempt = f"attempt:{self.node}"
+        self._fp_node = Footprint.make(writes=[node_token(self.node)])
+        self._fp_strand = Footprint.make(writes=[key_token(self.node, "__strand__")])
+        self._m_scheds = None
+        self._m_exec_seconds = None
+        self._m_unscheds: dict[str, object] = {}
 
     def init_state(self) -> None:
         """(Re)initialize the KV table from the specialized decls.

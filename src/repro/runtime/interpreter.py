@@ -35,7 +35,6 @@ different match is made ... otherwise the expression fails").
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Optional
 
 from ..core import ast as A
@@ -50,7 +49,6 @@ from ..core.errors import (
     VerifyUnknown,
 )
 from ..core.formula import UNKNOWN, Formula, evaluate, propositions
-from ..semantics.commute import Footprint, key_token, node_token
 from .channels import Message
 from .host import HostContext
 from .kvtable import UNDEF, Update
@@ -80,12 +78,15 @@ class RetrySignal(ControlSignal):
 # Strand machinery
 # ---------------------------------------------------------------------------
 
-@dataclass
 class Blocked:
-    """A strand's parked state.
+    """A strand's parked state (a ``__slots__`` record — these are
+    allocated once per blocking statement on the hot path).
 
     kind:
-      * ``'wait'``  — fields: formula, admits (frozenset of keys)
+      * ``'wait'``  — fields: formula, admits (frozenset of keys), and
+        optionally ``pred``, a compiled three-valued predicate over the
+        junction's value map (set by :mod:`repro.compile` for pure
+        formulas; wake-up checks call it instead of walking the tree)
       * ``'ack'``   — fields: msg_id
       * ``'sleep'`` — fields: duration
       * ``'join'``  — fields: children (list of Strand)
@@ -93,15 +94,37 @@ class Blocked:
         only emitted when the engine's executor is not inline)
     """
 
-    kind: str
-    formula: Optional[Formula] = None
-    admits: frozenset = frozenset()
-    msg_id: int = 0
-    duration: float = 0.0
-    children: list = field(default_factory=list)
-    fn: object = None
-    ctx: object = None
-    name: str = ""
+    __slots__ = (
+        "kind", "formula", "admits", "msg_id", "duration",
+        "children", "fn", "ctx", "name", "pred",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        formula: Optional[Formula] = None,
+        admits: frozenset = frozenset(),
+        msg_id: int = 0,
+        duration: float = 0.0,
+        children: list | None = None,
+        fn: object = None,
+        ctx: object = None,
+        name: str = "",
+        pred: object = None,
+    ):
+        self.kind = kind
+        self.formula = formula
+        self.admits = admits
+        self.msg_id = msg_id
+        self.duration = duration
+        self.children = children if children is not None else []
+        self.fn = fn
+        self.ctx = ctx
+        self.name = name
+        self.pred = pred
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Blocked {self.kind}>"
 
 
 class _DeadlineScope:
@@ -127,7 +150,14 @@ class ScopedTimeout(TimeoutFailure):
 
 
 class Strand:
-    """One sequential strand of a junction execution."""
+    """One sequential strand of a junction execution (``__slots__``:
+    one is allocated per scheduling even for bodies that complete
+    synchronously)."""
+
+    __slots__ = (
+        "id", "gen", "parent", "state", "block",
+        "exc", "pending_throw", "window", "sleep_handle",
+    )
 
     _ids = itertools.count()
 
@@ -176,6 +206,13 @@ def _is_self_or_ancestor(candidate: "Strand", strand: "Strand | None") -> bool:
 class JunctionExecution:
     """One scheduling of a junction."""
 
+    __slots__ = (
+        "system", "jr", "table", "root", "strands", "ready",
+        "awaiting_acks", "finished", "outcome", "failure",
+        "_pump_scheduled", "_current", "_retry_budget", "active_txs",
+        "parent_event", "sched_event", "_sched_at",
+    )
+
     def __init__(
         self,
         system: "System",
@@ -208,16 +245,61 @@ class JunctionExecution:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
+        jr = self.jr
         self.table.executing = True
         self.table.on_local_write = self._on_local_write
-        self.jr.status = "running"
-        self.jr.sched_count += 1
+        jr.status = "running"
+        jr.sched_count += 1
         tel = self.system.telemetry
-        tel.counter("junction_scheds", node=self.jr.node).inc()
+        m = jr._m_scheds
+        if m is None:
+            m = jr._m_scheds = tel.counter("junction_scheds", node=jr.node)
+        m.inc()
         self._sched_at = self.system.clock.now
-        self.sched_event = tel.emit("sched", self.jr.node, parent=self.parent_event)
-        self.root = self._spawn(self._root_gen(), parent=None)
-        self._pump()
+        self.sched_event = (
+            tel.emit("sched", jr.node, parent=self.parent_event)
+            if tel.enabled else None
+        )
+        code = jr.code
+        # compiled bodies carry their own retry/return loop (codegen
+        # emits it into ``_body``), so the generated generator IS the
+        # root — no wrapper frame per scheduling
+        gen = code.body_fn(self, code.consts) if code is not None else self._root_gen()
+        # root fast path: advance to the first yield inline, with the
+        # root strand registered and current (transactions/par opened
+        # before the first yield attribute correctly).  Most junction
+        # bodies complete synchronously: handle StopIteration here
+        # without the _advance/_finish_strand frames — a fresh root has
+        # no window, sleep handle or block to clean up.
+        s = Strand(gen, None)
+        self.root = s
+        self.strands[s.id] = s
+        self._current = s
+        try:
+            req = gen.send(None)
+        except StopIteration:
+            self._current = None
+            s.state = "done"
+            self._finish_execution(None)
+            return
+        except (DslFailure, ControlSignal) as exc:
+            self._current = None
+            s.state = "failed"
+            s.exc = exc
+            self._finish_execution(exc)
+            return
+        except Exception as exc:  # host/library bug: surface as HostError
+            self._current = None
+            wrapped = HostError(f"{jr.node}: internal error: {exc!r}")
+            wrapped.__cause__ = exc
+            s.state = "failed"
+            s.exc = wrapped
+            self._finish_execution(wrapped)
+            return
+        self._current = None
+        self._handle_request(s, req)
+        if self.ready and not self.finished:
+            self._pump()
 
     def _on_local_write(self, key: str, old: object) -> None:
         cur = self._current
@@ -227,6 +309,9 @@ class JunctionExecution:
                 tx.seen.add(key)
 
     def _root_gen(self) -> Generator:
+        """Tree-walking root: the junction body with the retry/return
+        loop around it (compiled bodies embed the same loop — codegen
+        ``root=True``)."""
         attempts = 0
         while True:
             try:
@@ -256,8 +341,8 @@ class JunctionExecution:
             0.0,
             self._pump_cb,
             priority=-1,
-            label=f"pump:{self.jr.node}",
-            footprint=Footprint.make(writes=[node_token(self.jr.node)]),
+            label=self.jr._label_pump,
+            footprint=self.jr._fp_node,
         )
 
     def _pump_cb(self) -> None:
@@ -303,7 +388,7 @@ class JunctionExecution:
             # window opened are reflected now (sec. 6: the wait "allows
             # the junction's table to reflect changes" to those keys)
             self.table.apply_pending_for(req.admits)
-            if self._formula_true(req.formula):
+            if self._wait_sat(req):
                 strand.state = "ready"
                 self.ready.append(strand)
                 return
@@ -311,7 +396,7 @@ class JunctionExecution:
             strand.block = req
 
             def on_update(_key: str, s=strand, r=req):
-                if s.state == "blocked" and self._formula_true(r.formula):
+                if s.state == "blocked" and self._wait_sat(r):
                     self._wake(s)
 
             strand.window = self.table.open_window(req.admits, on_update)
@@ -327,8 +412,8 @@ class JunctionExecution:
             strand.sleep_handle = self.system.clock.call_after(
                 req.duration,
                 lambda s=strand: self._wake(s),
-                label=f"sleep-wake:{self.jr.node}",
-                footprint=Footprint.make(writes=[key_token(self.jr.node, "__strand__")]),
+                label=self.jr._label_sleep,
+                footprint=self.jr._fp_strand,
             )
             return
         if req.kind == "join":
@@ -429,9 +514,11 @@ class JunctionExecution:
         self.finished = True
         self.failure = exc
         self.outcome = "ok" if exc is None else "failed"
-        for s in list(self.strands.values()):
-            if s.state in ("ready", "blocked"):
-                self._cancel_subtree(s)
+        strands = self.strands
+        if len(strands) > 1 or (self.root is not None and self.root.state in ("ready", "blocked")):
+            for s in list(strands.values()):
+                if s.state in ("ready", "blocked"):
+                    self._cancel_subtree(s)
         self.table.executing = False
         self.table.on_local_write = None
         self.jr.status = "idle"
@@ -452,14 +539,25 @@ class JunctionExecution:
         self._emit_unsched("cancelled", None)
 
     def _emit_unsched(self, outcome: str | None, exc: BaseException | None) -> None:
+        jr = self.jr
         tel = self.system.telemetry
-        tel.histogram("junction_execution_seconds", node=self.jr.node).observe(
-            self.system.clock.now - self._sched_at
-        )
-        tel.counter("junction_unscheds", node=self.jr.node, outcome=outcome or "?").inc()
-        tel.emit(
-            "unsched", self.jr.node, parent=self.sched_event, outcome=outcome, failure=exc
-        )
+        h = jr._m_exec_seconds
+        if h is None:
+            h = jr._m_exec_seconds = tel.histogram(
+                "junction_execution_seconds", node=jr.node
+            )
+        h.observe(self.system.clock.now - self._sched_at)
+        key = outcome or "?"
+        c = jr._m_unscheds.get(key)
+        if c is None:
+            c = jr._m_unscheds[key] = tel.counter(
+                "junction_unscheds", node=jr.node, outcome=key
+            )
+        c.inc()
+        if tel.enabled:
+            tel.emit(
+                "unsched", jr.node, parent=self.sched_event, outcome=outcome, failure=exc
+            )
 
     # ------------------------------------------------------------------
     # Message handling
@@ -524,6 +622,15 @@ class JunctionExecution:
 
     def _formula_true(self, f: Formula) -> bool:
         return self.eval_formula(f) is True
+
+    def _wait_sat(self, req: Blocked) -> bool:
+        """Is a wait request's formula satisfied?  Uses the compiled
+        predicate when the compiler attached one (pure formulas), else
+        the reference tree-walk."""
+        pred = req.pred
+        if pred is not None:
+            return pred(self.table.values) is True
+        return self._formula_true(req.formula)
 
     # ------------------------------------------------------------------
     # Argument evaluation
@@ -752,46 +859,56 @@ class JunctionExecution:
 
     # -- blocks -----------------------------------------------------------------
 
-    def _exec_transaction(self, e: A.Transaction) -> Generator:
+    def tx_open(self) -> _TxScope:
+        """Open a ``<|E|>`` undo scope owned by the current strand
+        (shared by the interpreter and compiled bodies)."""
         tx = _TxScope(self._current)
         self.active_txs.append(tx)
+        return tx
 
-        def rollback():
-            tx.active = False
-            for key, old in reversed(tx.log):
-                self.table.values[key] = old
-            self.active_txs.remove(tx)
+    def tx_commit(self, tx: _TxScope) -> None:
+        tx.active = False
+        self.active_txs.remove(tx)
 
-        def commit():
-            tx.active = False
-            self.active_txs.remove(tx)
+    def tx_rollback(self, tx: _TxScope) -> None:
+        tx.active = False
+        for key, old in reversed(tx.log):
+            self.table.values[key] = old
+        self.active_txs.remove(tx)
 
+    def _exec_transaction(self, e: A.Transaction) -> Generator:
+        tx = self.tx_open()
         try:
             yield from self.exec_expr(e.body)
         except ControlSignal:
-            commit()  # return/retry are not failures: changes persist
+            self.tx_commit(tx)  # return/retry are not failures: changes persist
             raise
         except DslFailure:
-            rollback()
+            self.tx_rollback(tx)
             raise
         except GeneratorExit:
-            rollback()
+            self.tx_rollback(tx)
             raise
         else:
-            commit()
+            self.tx_commit(tx)
+
+    def open_deadline(self, timeout: float) -> _DeadlineScope:
+        """Arm an ``otherwise[t]`` deadline scope owned by the current
+        strand (shared by the interpreter and compiled bodies)."""
+        deadline = self.system.clock.now + timeout
+        scope = _DeadlineScope(self._current, deadline)
+        scope.handle = self.system.clock.call_at(
+            deadline,
+            lambda sc=scope: self._deadline_fired(sc),
+            label=self.jr._label_deadline,
+            footprint=self.jr._fp_strand,
+        )
+        return scope
 
     def _exec_otherwise(self, e: A.Otherwise) -> Generator:
-        strand = self._current
         scope = None
         if e.timeout is not None:
-            deadline = self.system.clock.now + self.eval_arg_number(e.timeout)
-            scope = _DeadlineScope(strand, deadline)
-            scope.handle = self.system.clock.call_at(
-                deadline,
-                lambda sc=scope: self._deadline_fired(sc),
-                label=f"deadline:{self.jr.node}",
-                footprint=Footprint.make(writes=[key_token(self.jr.node, "__strand__")]),
-            )
+            scope = self.open_deadline(self.eval_arg_number(e.timeout))
         try:
             yield from self.exec_expr(e.body)
         except DslFailure as f:
@@ -819,7 +936,11 @@ class JunctionExecution:
         if not scope.active or self.finished:
             return
         scope.active = False
-        strand = scope.strand
+        # a scope opened during eager compiled execution (before the
+        # root strand was materialized) belongs to the root
+        strand = scope.strand if scope.strand is not None else self.root
+        if strand is None:
+            return
         failure = ScopedTimeout(scope)
         if strand.state == "blocked":
             self._wake(strand, throw=failure)
@@ -828,12 +949,18 @@ class JunctionExecution:
 
     # -- parallel ----------------------------------------------------------------
 
-    def _exec_parallel(self, items) -> Generator:
+    def spawn_par(self, gens) -> list[Strand]:
+        """Register child strands for the given generators under the
+        current strand (shared by the interpreter and compiled bodies)."""
         strand = self._current
-        children = [Strand(self.exec_expr(item), parent=strand) for item in items]
+        children = [Strand(gen, parent=strand) for gen in gens]
         for c in children:
             self.strands[c.id] = c
             self.ready.append(c)
+        return children
+
+    def _exec_parallel(self, items) -> Generator:
+        children = self.spawn_par([self.exec_expr(item) for item in items])
         yield Blocked("join", children=children)
 
     # -- case -------------------------------------------------------------------

@@ -46,7 +46,7 @@ from __future__ import annotations
 import contextlib
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Callable
 
 #: below this queue size compaction is pointless (the dead entries are
@@ -54,19 +54,47 @@ from typing import Callable
 _COMPACT_MIN = 64
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
-    in_heap: bool = field(compare=False, default=True)
-    #: stable identity for schedule recording/replay (None = anonymous)
-    label: str | None = field(compare=False, default=None)
-    #: state touched by the callback (repro.semantics.commute.Footprint);
-    #: None = unknown, treated as interfering with everything
-    footprint: object = field(compare=False, default=None)
+    """A heap entry (``__slots__``: millions of these are allocated and
+    compared per run — heap sift comparisons only need ``__lt__`` on the
+    ``(time, priority, seq)`` order key)."""
+
+    __slots__ = (
+        "time", "priority", "seq", "callback",
+        "cancelled", "in_heap", "in_due", "label", "footprint",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        in_heap: bool = True,
+        label: str | None = None,
+        footprint: object = None,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.in_heap = in_heap
+        #: parked in the zero-delay FIFO lane instead of the heap
+        self.in_due = False
+        #: stable identity for schedule recording/replay (None = anonymous)
+        self.label = label
+        #: state touched by the callback (repro.semantics.commute.Footprint);
+        #: None = unknown, treated as interfering with everything
+        self.footprint = footprint
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
 
 class ScheduleController:
@@ -120,6 +148,8 @@ class EventHandle:
             # longer in the heap and must not skew the dead-entry count
             if ev.in_heap:
                 self._sim._note_cancelled()
+            elif ev.in_due:
+                self._sim._due_cancelled += 1
 
     @property
     def cancelled(self) -> bool:
@@ -139,11 +169,20 @@ class Simulator:
 
     def __init__(self):
         self._queue: list[_Event] = []
+        #: zero-delay FIFO lane: events scheduled at the *current* time
+        #: with default priority skip the heap entirely.  Strand pumps,
+        #: junction attempts and same-instant wake-ups dominate event
+        #: traffic, and a deque append/popleft is far cheaper than a
+        #: heap sift; total (time, priority, seq) order is preserved by
+        #: merging the lane head with the heap head when draining.
+        self._due: deque[_Event] = deque()
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         #: cancelled events still sitting in the heap
         self._cancelled = 0
+        #: cancelled events still sitting in the FIFO lane
+        self._due_cancelled = 0
         #: optional ScheduleController; when set, co-enabled events
         #: (same time and priority) become explicit choice points
         self.controller: ScheduleController | None = (
@@ -168,7 +207,15 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         ev = _Event(time, priority, next(self._seq), callback, label=label, footprint=footprint)
-        heapq.heappush(self._queue, ev)
+        if time == self._now and priority == 0 and self.controller is None:
+            # zero-delay fast lane: same total order (the lane is sorted
+            # by construction — appends carry nondecreasing time and
+            # increasing seq at the default priority), no heap sift
+            ev.in_heap = False
+            ev.in_due = True
+            self._due.append(ev)
+        else:
+            heapq.heappush(self._queue, ev)
         return EventHandle(ev, self)
 
     def call_after(
@@ -183,7 +230,37 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` simulated time units."""
         if delay < 0:
             raise ValueError("negative delay")
+        if delay == 0.0 and priority == 0 and self.controller is None:
+            # inline the zero-delay lane (call_after(0, ...) is the
+            # hottest scheduling call: pumps, attempts, wake-ups)
+            ev = _Event(
+                self._now, 0, next(self._seq), callback,
+                label=label, footprint=footprint,
+            )
+            ev.in_heap = False
+            ev.in_due = True
+            self._due.append(ev)
+            return EventHandle(ev, self)
         return self.call_at(self._now + delay, callback, priority, label=label, footprint=footprint)
+
+    def post(
+        self,
+        callback: Callable[[], None],
+        *,
+        label: str | None = None,
+        footprint: object = None,
+    ) -> None:
+        """Fire-and-forget ``call_after(0, ...)`` — no EventHandle."""
+        if self.controller is None:
+            ev = _Event(self._now, 0, next(self._seq), callback, label=label, footprint=footprint)
+            ev.in_heap = False
+            ev.in_due = True
+            self._due.append(ev)
+        else:
+            heapq.heappush(
+                self._queue,
+                _Event(self._now, 0, next(self._seq), callback, label=label, footprint=footprint),
+            )
 
     # -- lazy-cancellation bookkeeping --------------------------------------
 
@@ -204,27 +281,67 @@ class Simulator:
         heapq.heapify(self._queue)
         self._cancelled = 0
 
+    def _flush_due(self) -> None:
+        """Migrate the FIFO lane into the heap (seq order is preserved,
+        so the total order is unchanged).  Only needed when a controller
+        is attached after zero-delay events were parked in the lane."""
+        while self._due:
+            ev = self._due.popleft()
+            ev.in_due = False
+            if ev.cancelled:
+                self._due_cancelled -= 1
+                continue
+            ev.in_heap = True
+            heapq.heappush(self._queue, ev)
+
+    def _next_event(self) -> _Event | None:
+        """Pop the globally-next live event from the lane/heap merge."""
+        due, queue = self._due, self._queue
+        while due and due[0].cancelled:
+            due.popleft().in_due = False
+            self._due_cancelled -= 1
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue).in_heap = False
+            self._cancelled -= 1
+        if due:
+            if queue and queue[0] < due[0]:
+                ev = heapq.heappop(queue)
+                ev.in_heap = False
+            else:
+                ev = due.popleft()
+                ev.in_due = False
+            return ev
+        if queue:
+            ev = heapq.heappop(queue)
+            ev.in_heap = False
+            return ev
+        return None
+
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue).in_heap = False
+        due, queue = self._due, self._queue
+        while due and due[0].cancelled:
+            due.popleft().in_due = False
+            self._due_cancelled -= 1
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue).in_heap = False
             self._cancelled -= 1
-        return self._queue[0].time if self._queue else None
+        if due and queue:
+            return min(due[0].time, queue[0].time)
+        if due:
+            return due[0].time
+        return queue[0].time if queue else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
         if self.controller is not None:
             return self._step_controlled()
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            ev.in_heap = False
-            if ev.cancelled:
-                self._cancelled -= 1
-                continue
-            self._now = ev.time
-            ev.callback()
-            return True
-        return False
+        ev = self._next_event()
+        if ev is None:
+            return False
+        self._now = ev.time
+        ev.callback()
+        return True
 
     def _step_controlled(self) -> bool:
         """One step in controlled mode: gather the co-enabled set (all
@@ -233,6 +350,7 @@ class Simulator:
         bounds the set because priorities encode runtime-*internal*
         ordering constraints (strand pumps run before deliveries), not
         logical concurrency."""
+        self._flush_due()  # controller attached mid-run: merge the lane
         if self.peek_time() is None:  # also drains cancelled heads
             return False
         group: list[_Event] = []
@@ -259,27 +377,106 @@ class Simulator:
         return True
 
     def run_until(self, time: float) -> None:
-        """Run events up to and including simulated ``time``."""
+        """Run events up to and including simulated ``time``.
+
+        The uncontrolled path batch-drains the heap inline rather than
+        going through :meth:`step` per event — at millions of events the
+        per-event call and re-peek overhead dominates the loop.
+        """
+        if self.controller is not None:
+            while True:
+                nxt = self.peek_time()
+                if nxt is None or nxt > time:
+                    break
+                self._step_controlled()
+            self._now = max(self._now, time)
+            return
+        pop = heapq.heappop
+        due = self._due
         while True:
-            nxt = self.peek_time()
-            if nxt is None or nxt > time:
+            # re-read the attribute: a callback (or cancellation burst)
+            # may have run _compact(), which replaces the list object
+            queue = self._queue
+            if due:
+                ev = due[0]
+                if ev.cancelled:
+                    due.popleft().in_due = False
+                    self._due_cancelled -= 1
+                    continue
+                # a heap event may still order first at the same instant
+                # (e.g. a higher-priority pump)
+                if queue:
+                    head = queue[0]
+                    if head.cancelled:
+                        pop(queue).in_heap = False
+                        self._cancelled -= 1
+                        continue
+                    if head < ev:
+                        if head.time > time:
+                            break
+                        pop(queue)
+                        head.in_heap = False
+                        self._now = head.time
+                        head.callback()
+                        continue
+                if ev.time > time:
+                    break
+                due.popleft()
+                ev.in_due = False
+                self._now = ev.time
+                ev.callback()
+                continue
+            if not queue:
                 break
-            self.step()
+            ev = queue[0]
+            if ev.cancelled:
+                pop(queue).in_heap = False
+                self._cancelled -= 1
+                continue
+            if ev.time > time:
+                break
+            pop(queue)
+            ev.in_heap = False
+            self._now = ev.time
+            ev.callback()
         self._now = max(self._now, time)
 
     def run(self, max_events: int = 10_000_000) -> None:
-        """Run until the event queue drains (or ``max_events``)."""
+        """Run until the event queue drains (or ``max_events``).
+
+        Batch-drained like :meth:`run_until`; only executed (non-
+        cancelled) events count against ``max_events``.
+        """
         count = 0
-        while self.step():
+        if self.controller is not None:
+            while self._step_controlled():
+                count += 1
+                if count >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events (livelock?)"
+                    )
+            return
+        while True:
+            ev = self._next_event()
+            if ev is None:
+                return
+            self._now = ev.time
+            ev.callback()
             count += 1
             if count >= max_events:
-                raise RuntimeError(f"simulation exceeded {max_events} events (livelock?)")
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events (livelock?)"
+                )
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled queued events (O(1))."""
-        return len(self._queue) - self._cancelled
+        return (
+            len(self._queue) - self._cancelled
+            + len(self._due) - self._due_cancelled
+        )
 
     def queue_size(self) -> int:
-        """Raw heap size including not-yet-reclaimed cancelled entries
-        (observability for the compaction behaviour)."""
-        return len(self._queue)
+        """Raw queue size (heap + zero-delay lane) including
+        not-yet-reclaimed cancelled entries (observability for the
+        compaction behaviour)."""
+        return len(self._queue) + len(self._due)

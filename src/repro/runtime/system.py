@@ -28,6 +28,8 @@ Req`` …).
 from __future__ import annotations
 
 import random
+import warnings
+from functools import partial
 from typing import Mapping
 
 from ..core import ast as A
@@ -48,17 +50,17 @@ from ..core.formula import TRUE, UNKNOWN, evaluate
 from ..core.validate import validate_closed_junction
 from ..serde.framing import Serializer
 from ..analysis.capture import note_program
-from ..semantics.commute import Footprint, node_token
 from ..telemetry import Telemetry
 from ..telemetry.facade import note_system
 from .channels import Message, Network
 from .delivery import DeliveryPolicy, ReliableDelivery
 from .engine import (
+    EngineSpec,
     ExecutionEngine,
     SimEngine,
     _default_engine_factory,
+    _default_engine_spec,
     controller_pending,
-    create_engine,
 )
 from .instance import InstanceRuntime, InstanceTypeRuntime, JunctionRuntime
 from .interpreter import JunctionExecution
@@ -82,7 +84,8 @@ class System:
         delivery_policy: DeliveryPolicy | None = None,
         telemetry: Telemetry | bool | None = None,
         host_contract: str = "strict",
-        engine: ExecutionEngine | str | None = None,
+        engine: ExecutionEngine | EngineSpec | str | None = None,
+        compiled: bool | None = None,
     ):
         if host_contract not in ("strict", "warn"):
             raise ValueError(
@@ -94,10 +97,22 @@ class System:
         #: performs the write and emits a ``host_contract_violation``
         #: telemetry event (sec. 6's ``⌊H⌉{V}`` write contract)
         self.host_contract = host_contract
-        # -- execution engine resolution: explicit engine > shared sim >
-        #    ambient default_engine() scope > fresh SimEngine
-        if isinstance(engine, str):
-            engine = create_engine(engine)
+        # -- execution engine resolution: explicit engine/spec > shared
+        #    sim (deprecated) > ambient default_engine() scope > fresh
+        #    SimEngine.  Spec strings and EngineSpec values carry a
+        #    compile mode too; the explicit ``compiled`` kwarg wins.
+        if sim is not None:
+            warnings.warn(
+                "System(sim=...) is deprecated; pass engine=SimEngine(sim) "
+                "or an EngineSpec",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        spec_compiled: bool | None = None
+        if isinstance(engine, (EngineSpec, str)):
+            spec = EngineSpec.of(engine)
+            spec_compiled = spec.compiled
+            engine = spec.create()
         if engine is not None:
             if sim is not None:
                 raise ValueError("pass engine=... or sim=..., not both")
@@ -105,7 +120,21 @@ class System:
             engine = SimEngine(sim)
         else:
             factory = _default_engine_factory()
-            engine = factory() if factory is not None else SimEngine()
+            if factory is not None:
+                engine = factory()
+                ambient = _default_engine_spec()
+                if ambient is not None:
+                    spec_compiled = ambient.compiled
+            else:
+                engine = SimEngine()
+        if compiled is None:
+            compiled = spec_compiled
+        if compiled is None:
+            from ..compile import compile_default
+
+            compiled = compile_default()
+        self._compiled = bool(compiled)
+        self._compile_cache: dict = {}
         if controller_pending() and not engine.supports_controlled_scheduling:
             raise ValueError(
                 f"engine {engine.name!r} does not support controlled scheduling "
@@ -386,6 +415,7 @@ class System:
             jr.init_state()
             jr.table.attach_telemetry(self.telemetry)
             jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
+            jr.code = self._compile_junction(jr)
             self.network.register(jr.node, self._make_deliver(jr))
 
         self.telemetry.counter("instance_starts", instance=inst.name).inc()
@@ -462,11 +492,10 @@ class System:
         causal parent of the resulting ``attempt`` event."""
         if cause is None:
             cause = self._attempt_cause
-        self.clock.call_after(
-            0.0,
-            lambda: self.attempt_schedule(jr, cause=cause),
-            label=f"attempt:{jr.node}",
-            footprint=Footprint.make(writes=[node_token(jr.node)]),
+        self.clock.post(
+            partial(self.attempt_schedule, jr, cause),
+            label=jr._label_attempt,
+            footprint=jr._fp_node,
         )
 
     def attempt_schedule(self, jr: JunctionRuntime, cause: int | None = None) -> bool:
@@ -474,8 +503,10 @@ class System:
         inst = jr.instance
         if not inst.alive or jr.status != "idle" or jr.body is None:
             return False
-        attempt_ev = self.telemetry.emit("attempt", jr.node, parent=cause)
-        jr.table.apply_pending()
+        tel = self.telemetry
+        attempt_ev = tel.emit("attempt", jr.node, parent=cause) if tel.enabled else None
+        if jr.table.pending:
+            jr.table.apply_pending()
         if not self._guard_holds(jr):
             return False
         execution = JunctionExecution(self, jr, parent_event=attempt_ev)
@@ -483,7 +514,36 @@ class System:
         execution.start()
         return True
 
+    def _compile_junction(self, jr: JunctionRuntime):
+        """Compile a freshly-bound junction (tentpole of the junction
+        compiler).  Disabled per system via ``compiled=False`` /
+        ``compilation(False)``, and always under a schedule controller
+        (``repro explore`` replays against interpreter event labels).
+        Restarting an instance with the same arguments reuses the cached
+        code — the generated module closes over no per-execution state.
+        """
+        if not self._compiled:
+            return None
+        if getattr(self.clock, "controller", None) is not None:
+            return None
+        key = (jr.node, tuple(sorted(jr.ast_params.items())))
+        try:
+            return self._compile_cache[key]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable argument value: compile uncached
+            from ..compile import compile_junction_code
+
+            return compile_junction_code(self, jr)
+        from ..compile import compile_junction_code
+
+        code = self._compile_cache[key] = compile_junction_code(self, jr)
+        return code
+
     def _guard_holds(self, jr: JunctionRuntime) -> bool:
+        code = jr.code
+        if code is not None and code.guard_fn is not None:
+            return code.guard_fn(jr.table.values) is True
         guard = jr.guard if jr.guard is not None else TRUE
         v = evaluate(
             guard,
@@ -624,7 +684,8 @@ class System:
         application asserting ``Req`` on a client request) and attempt a
         scheduling."""
         jr = self.junction(node)
-        ev = self.telemetry.emit("external_update", jr.node, key=key)
+        tel = self.telemetry
+        ev = tel.emit("external_update", jr.node, key=key) if tel.enabled else None
         self._attempt_cause = ev
         try:
             jr.table.receive(Update(key=key, value=value, src="__external__"))

@@ -20,7 +20,12 @@ from .events import (
     fresh_event,
     isolate_event,
 )
-from .program_sem import ProgramSemantics, denote_program, denote_startup
+from .program_sem import (
+    ProgramSemantics,
+    denote_junction,
+    denote_program,
+    denote_startup,
+)
 from .render import immediate_causality, minimal_conflicts, to_dot, to_text
 from .structure import EventStructure
 
@@ -45,6 +50,7 @@ __all__ = [
     "Wr",
     "commutes",
     "conflicts",
+    "denote_junction",
     "denote_program",
     "denote_startup",
     "expand_waits",

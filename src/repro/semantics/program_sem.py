@@ -126,3 +126,62 @@ def denote_program(
             den = Denoter(node, max_unfold=max_unfold)
             junctions[node] = den.denote_junction(body, guard)
     return ProgramSemantics(startup=startup, junctions=junctions)
+
+
+def denote_junction(
+    program: CompiledProgram,
+    node: str,
+    env: dict | None = None,
+    *,
+    expand: bool = True,
+    max_unfold: int = 1,
+) -> ES:
+    """Denote a single junction ``"instance::junction"`` of ``program``
+    into its event structure (paper sec. 8.5).
+
+    This is the stable entry point for analysis and compile consumers —
+    it wraps the same specialization + :class:`Denoter` pipeline
+    :func:`denote_program` uses, without requiring a deep import of
+    :mod:`repro.semantics.denote`.
+
+    ``expand=False`` leaves ``Wait_J`` placeholders in place: the
+    unexpanded structure is *linear* in the body size (expansion
+    duplicates the downstream structure once per DNF alternative of
+    each wait formula, which is exponential in the number of waits) and
+    preserves the enablement order of the body's own events — what the
+    static analyzer's concurrency pass and the junction compiler's
+    footprint derivation need.
+
+    ``env`` supplies values for main/junction parameters (sets,
+    timeouts) beyond the program's own configuration.  Raises
+    ``KeyError`` for an unknown node and ``ValueError`` when the
+    junction's parameters cannot be specialized with the given
+    environment.
+    """
+    iname, sep, jname = node.partition("::")
+    if not sep:
+        raise KeyError(f"junction node must be 'instance::junction', got {node!r}")
+    tname = program.instance_map().get(iname)
+    if tname is None:
+        raise KeyError(f"unknown instance {iname!r}")
+    for cj in program.junctions_of_type(tname):
+        if cj.name == jname:
+            break
+    else:
+        raise KeyError(f"instance {iname!r} has no junction {jname!r}")
+
+    cfg = program.config_env()
+    for k, v in (env or {}).items():
+        cfg[k] = to_ast_value(v)
+    try:
+        body, decls = specialize(cj.body, cj.decls, cfg)
+        body = resolve_me_expr(body, iname, cj.name)
+        decls = tuple(resolve_me_decl(d, iname, cj.name) for d in decls)
+    except Exception as exc:
+        raise ValueError(f"cannot specialize {node}: {exc}") from exc
+    guard = None
+    for d in decls:
+        if isinstance(d, A.Guard):
+            guard = d.formula
+    den = Denoter(node, max_unfold=max_unfold)
+    return den.denote_junction(body, guard, expand=expand)

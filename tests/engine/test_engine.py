@@ -41,12 +41,14 @@ class TestSelection:
         assert isinstance(sys_.engine, SimEngine)
 
     def test_engine_and_sim_are_exclusive(self):
-        with pytest.raises(ValueError, match="not both"):
-            single_junction("skip", engine=SimEngine(), sim=Simulator())
+        with pytest.warns(DeprecationWarning, match="System\\(sim=...\\) is deprecated"):
+            with pytest.raises(ValueError, match="not both"):
+                single_junction("skip", engine=SimEngine(), sim=Simulator())
 
     def test_shared_sim_still_means_sim_engine(self):
         sim = Simulator()
-        sys_ = single_junction("skip", sim=sim)
+        with pytest.warns(DeprecationWarning, match="System\\(sim=...\\) is deprecated"):
+            sys_ = single_junction("skip", sim=sim)
         assert sys_.engine.name == "sim"
         assert sys_.sim is sim and sys_.clock is sim
 
