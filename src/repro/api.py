@@ -31,6 +31,11 @@ The surface covers the four things an embedding application touches:
 * **the semantics** — ``denote_junction`` maps one junction to its
   event structure (``expand=False`` for the linear-size unexpanded
   form used by analysis/compile consumers);
+* **reconfiguration** — live architecture transitions: ``diff_programs``
+  produces an ``ArchDiff``, ``plan_transition`` compiles it to a
+  per-instance ``TransitionPlan``, and ``System.reconfigure`` applies
+  it to a running system with zero dropped requests (returns a
+  ``ReconfigReport``); see ``docs/RECONFIG.md``;
 * **observability** — the ``Telemetry`` facade (``system.telemetry``)
   and its metric/exporter types; see ``docs/OBSERVABILITY.md``;
 * **errors** — the ``CSawError`` hierarchy root and the failure types
@@ -50,6 +55,16 @@ from .compile import (
 from .core.compiler import CompiledProgram, compile_program
 from .core.errors import CSawError, DeliveryFailure, DslFailure
 from .core.parser import parse_program
+from .reconfig import (
+    ArchDiff,
+    ReconfigError,
+    ReconfigReport,
+    TransitionPlan,
+    apply_diff,
+    diff_programs,
+    plan_transition,
+    program_signature,
+)
 from .runtime import (
     BackoffPolicy,
     ChaosConfig,
@@ -111,6 +126,15 @@ __all__ = [
     "System",
     "create_engine",
     "default_engine",
+    # reconfiguration
+    "ArchDiff",
+    "ReconfigError",
+    "ReconfigReport",
+    "TransitionPlan",
+    "apply_diff",
+    "diff_programs",
+    "plan_transition",
+    "program_signature",
     # observability
     "MetricsRegistry",
     "RingBufferSink",

@@ -14,13 +14,37 @@ logic is applied to both Redis and Suricata", sec. 7.3): only the host
 
 from __future__ import annotations
 
+import re
 from typing import Callable
 
+from ..core.compiler import CompiledProgram, compile_program
 from ..redislite.server import Command, RedisServer, Reply
 from ..runtime.faults import FaultPlan
 from ..runtime.system import System
-from .loader import load_program
+from .loader import load_program, load_source
 from .ports import BackApp, FrontApp
+
+
+def swap_backend_source(
+    old_name: str = "b2",
+    new_name: str = "b3",
+    *,
+    program_name: str = "failover",
+) -> str:
+    """The shipped fail-over source with one replica instance renamed —
+    the canonical instance-swap reconfiguration target (retire ``b2``,
+    bring up a fresh ``b3``)."""
+    text = load_source(program_name)
+    return re.sub(rf"\b{re.escape(old_name)}\b", new_name, text)
+
+
+def swap_backend_program(
+    old_name: str = "b2",
+    new_name: str = "b3",
+    *,
+    program_name: str = "failover",
+) -> CompiledProgram:
+    return compile_program(swap_backend_source(old_name, new_name, program_name=program_name))
 
 
 class _FoFrontApp(FrontApp):
@@ -47,9 +71,11 @@ class FailoverService:
         reactivate_poll: float | None = 1.0,
         run_for: float = 1.0,
         program_name: str = "failover",
+        program: CompiledProgram | None = None,
     ):
         self.exec_fn = exec_fn
-        self.program = load_program(program_name)
+        self.program_name = program_name
+        self.program = program if program is not None else load_program(program_name)
         self.system = System(self.program, latency=latency, seed=seed)
         sys_ = self.system
 
@@ -136,9 +162,19 @@ class FailoverService:
         if reactivate_poll is not None:
             self._arm_reactivate_poll(reactivate_poll)
 
+    def back_instances(self) -> list[str]:
+        """The replica instance names, sorted — derived live so a
+        reconfiguration that swaps a replica keeps the watchdogs and
+        reports working."""
+        return sorted(
+            name
+            for name, inst in self.system.instances.items()
+            if inst.type.name == "BackT"
+        )
+
     def _arm_reactivate_poll(self, interval: float) -> None:
         def poll():
-            for b in ("b1", "b2"):
+            for b in self.back_instances():
                 inst = self.system.instance(b)
                 if inst.alive:
                     self.system.poke(f"{b}::reactivate")
@@ -156,11 +192,28 @@ class FailoverService:
 
     def registered_backends(self) -> list[str]:
         out = []
-        for b in ("b1", "b2"):
+        for b in self.back_instances():
             key = f"Backend[{b}::serve]"
             if self.system.read_state("f::c", key) is True:
                 out.append(b)
         return out
+
+    def swap_backend(
+        self,
+        old_name: str = "b2",
+        new_name: str = "b3",
+        *,
+        quiesce_grace: float = 5.0,
+    ):
+        """Live instance swap: retire replica ``old_name`` and bring up
+        a fresh ``new_name`` through a reconfiguration transition.  The
+        new replica registers with ``f::b`` via the architecture's own
+        Fig. 8 startup loop.  Returns the
+        :class:`~repro.reconfig.ReconfigReport`."""
+        new_program = swap_backend_program(
+            old_name, new_name, program_name=self.program_name
+        )
+        return self.system.reconfigure(new_program, quiesce_grace=quiesce_grace)
 
     def fault_plan(self) -> FaultPlan:
         return FaultPlan(self.system)

@@ -89,6 +89,7 @@ class _ShardedService:
         self.n_shards = n_shards
         self.choose = choose
         self.exec_fn = exec_fn
+        self.timeout = timeout
         self.program = load_program("sharding", n_backends=n_shards)
         self.system = System(self.program, latency=latency, seed=seed)
         self.backends = backend_names(n_shards)
@@ -97,8 +98,10 @@ class _ShardedService:
         sys_ = self.system
         self.front = FrontApp(sys_, "Fnt::junction")
         sys_.bind_app("Front", lambda inst: self.front)
+        # index parsed from the name ("Bck7" -> 6) so backends added by
+        # a live reconfiguration get the right shard number
         sys_.bind_app("Back", lambda inst, mk=make_backend: BackApp(
-            mk(self.backends.index(inst.name))
+            mk(int(inst.name[3:]) - 1)
         ))
 
         @sys_.host("Front", "Choose")
@@ -180,10 +183,13 @@ class ShardedRedis(_ShardedService):
         timeout: float = 2.0,
         seed: int = 0,
     ):
+        self._mode = mode
+        self._size_table = size_table or {}
+        self._cost_model = cost_model
         if mode == "key":
             choose = key_hash_chooser(n_shards)
         elif mode == "size":
-            choose = object_size_chooser(n_shards, size_table or {})
+            choose = object_size_chooser(n_shards, self._size_table)
         else:
             raise ValueError(f"unknown sharding mode {mode!r}")
 
@@ -227,6 +233,61 @@ class ShardedRedis(_ShardedService):
 
     def shard_sizes(self) -> list[int]:
         return [self.backend_app(i).payload.store.size() for i in range(self.n_shards)]
+
+    def reconfigure_shards(self, n_shards: int, *, quiesce_grace: float = 5.0):
+        """Live-reshard to ``n_shards`` back-ends with zero dropped
+        requests: backends are added/removed through a reconfiguration
+        transition, and the state-transfer step re-places every stored
+        entry under the new chooser (exactly where a fresh ``n_shards``
+        deployment would have put it).  Returns the
+        :class:`~repro.reconfig.ReconfigReport`."""
+        if n_shards == self.n_shards:
+            return self.system.reconfigure(quiesce_grace=quiesce_grace)
+        old_backends = list(self.backends)
+        new_backends = backend_names(n_shards)
+        new_program = load_program("sharding", n_backends=n_shards)
+        if self._mode == "key":
+            new_choose = key_hash_chooser(n_shards)
+        else:
+            new_choose = object_size_chooser(n_shards, self._size_table)
+
+        def transfer(system: System, removed_apps: dict) -> None:
+            sources: list[RedisServer] = []
+            for name in old_backends:
+                app = (
+                    removed_apps.get(name)
+                    if name in removed_apps
+                    else system.instances[name].app
+                )
+                if app is not None:
+                    sources.append(app.payload)
+            targets = {
+                name: system.instance(name).app.payload for name in new_backends
+            }
+            for i, server in enumerate(sources):
+                store = server.store
+                for key in list(store.keys()):
+                    idx = new_choose(
+                        {"op": "GET", "key": key, "size": store.object_size(key) or 0}
+                    )
+                    dst = targets[new_backends[idx]]
+                    if dst.store is store:
+                        continue
+                    value = store.get(key)
+                    if value is not None:
+                        dst.store.set(key, value)
+                    store.delete(key)
+
+        report = self.system.reconfigure(
+            new_program, on_transfer=transfer, quiesce_grace=quiesce_grace
+        )
+        if report.ok and not report.rolled_back:
+            old_counts = self.shard_counts
+            self.n_shards = n_shards
+            self.backends = new_backends
+            self.choose = new_choose
+            self.shard_counts = (old_counts + [0] * n_shards)[:n_shards]
+        return report
 
 
 class ParallelShardedRedis:
@@ -352,6 +413,38 @@ class ParallelShardedRedis:
         for cmd in commands:
             for i in range(self.n_backends):
                 self.backend_app(i).payload.execute(cmd, now=0.0)
+
+    def reconfigure_backends(self, n_backends: int, *, quiesce_grace: float = 5.0):
+        """Live-resize the warm-replica pool; newly added back-ends get
+        a full replica copy in the state-transfer step."""
+        if n_backends == self.n_backends:
+            return self.system.reconfigure(quiesce_grace=quiesce_grace)
+        old_backends = list(self.backends)
+        new_backends = backend_names(n_backends)
+        new_program = load_program("parallel_sharding", n_backends=n_backends)
+
+        def transfer(system: System, removed_apps: dict) -> None:
+            src = None
+            for name in old_backends:
+                if name in new_backends and name in system.instances:
+                    app = system.instances[name].app
+                    if app is not None:
+                        src = app.payload
+                        break
+            if src is None:
+                return
+            snap = src.store.snapshot()
+            for name in new_backends:
+                if name not in old_backends:
+                    system.instance(name).app.payload.store.restore(snap)
+
+        report = self.system.reconfigure(
+            new_program, on_transfer=transfer, quiesce_grace=quiesce_grace
+        )
+        if report.ok and not report.rolled_back:
+            self.n_backends = n_backends
+            self.backends = new_backends
+        return report
 
 
 class ShardedSuricata(_ShardedService):

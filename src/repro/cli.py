@@ -637,6 +637,77 @@ def cmd_cluster(args) -> int:
     return 0 if recovered else 2
 
 
+def _load_arch_text(value: str, n_backends: int | None) -> str:
+    """A shipped architecture name or a ``.csaw`` path → DSL source
+    (``@BACKENDS@`` placeholders expanded)."""
+    from .arch.loader import ARCHITECTURES, expand_placeholders, load_source
+
+    if value in ARCHITECTURES:
+        return load_source(value, n_backends=n_backends)
+    text = Path(value).read_text()
+    if "@BACKENDS@" in text:
+        text = expand_placeholders(text, n_backends or 4)
+    return text
+
+
+def cmd_reconfigure(args) -> int:
+    import time as _time
+
+    from .reconfig import diff_programs, plan_transition
+
+    config = _parse_config(args.config)
+    old = compile_program(
+        _load_arch_text(args.old, args.old_backends), config=config
+    )
+    new = compile_program(
+        _load_arch_text(args.new, args.new_backends), config=config
+    )
+    diff = diff_programs(old, new)
+    print(f"diff: {diff.summary()}")
+    if args.diff_only:
+        return 0
+    if args.plan_only:
+        plan = plan_transition(diff)
+        print(plan.render())
+        return 0
+
+    spec = _engine_spec(args, command="reconfigure", default_time_scale=0.05)
+    from .runtime.system import System
+
+    wall0 = _time.perf_counter()
+    with _compile_ctx(spec), _graceful_signals(enabled=spec.name != "sim"):
+        system = System(old, engine=spec)
+        stubbed = _stub_bindings(system)
+        if stubbed:
+            print(f"stubbed host bindings: {', '.join(stubbed)}", file=sys.stderr)
+        main_args = {}
+        if old.main is not None:
+            env = old.config_env()
+            main_args = {p: 1.0 for p in old.main.params if p not in env}
+        if main_args:
+            print(
+                f"defaulted main parameter(s) to 1.0: {sorted(main_args)}",
+                file=sys.stderr,
+            )
+        system.start(**main_args)
+        system.run_until(args.at)
+        report = system.reconfigure(new, quiesce_grace=args.grace)
+        system.run_until(args.until if args.until is not None else system.now + 5.0)
+    wall = _time.perf_counter() - wall0
+
+    print(report.render())
+    print(
+        f"{args.old} -> {args.new}: engine={system.engine.name} "
+        f"t={system.now:.3f} wall={wall:.2f}s failures={len(system.failures)}"
+    )
+    for t, node, exc in system.failures:
+        print(f"  failure at t={t:.3f} in {node}: {exc!r}", file=sys.stderr)
+    system.shutdown()
+    if system.failures:
+        return 1
+    return 0 if report.ok else 2
+
+
 def _explore_scenario(args):
     from .explore import resolve_scenario
 
@@ -941,6 +1012,59 @@ def build_parser() -> argparse.ArgumentParser:
              "restarts to land (only with --kill; default: 20)",
     )
     sp.set_defaults(fn=cmd_cluster)
+
+    sp = sub.add_parser(
+        "reconfigure",
+        help="apply a .csaw architecture diff to a running system "
+             "(quiesce, snapshot, cutover, resume — zero dropped requests)",
+    )
+    sp.add_argument(
+        "old",
+        help="the running architecture: a shipped name or a .csaw file",
+    )
+    sp.add_argument(
+        "new",
+        help="the target architecture: a shipped name or a .csaw file",
+    )
+    sp.add_argument(
+        "--config", action="append", default=[], metavar="NAME=VALUE",
+        help="load-time configuration applied to both sources; repeatable",
+    )
+    sp.add_argument(
+        "--old-backends", type=int, default=None, metavar="N",
+        help="back-end count for a parameterized OLD source (sharding)",
+    )
+    sp.add_argument(
+        "--new-backends", type=int, default=None, metavar="N",
+        help="back-end count for a parameterized NEW source (sharding)",
+    )
+    sp.add_argument(
+        "--engine", metavar="SPEC", default="sim",
+        help="engine spec: sim | realtime | realtime-tcp | cluster plus "
+             "key=value options (default: sim)",
+    )
+    sp.add_argument(
+        "--at", type=float, default=2.0,
+        help="logical time to trigger the transition (default: 2.0)",
+    )
+    sp.add_argument(
+        "--until", type=float, default=None,
+        help="logical-seconds horizon after the transition "
+             "(default: trigger time + 5)",
+    )
+    sp.add_argument(
+        "--grace", type=float, default=5.0,
+        help="quiesce grace in logical seconds before rollback (default: 5.0)",
+    )
+    sp.add_argument(
+        "--diff-only", action="store_true",
+        help="print the architecture diff and exit",
+    )
+    sp.add_argument(
+        "--plan-only", action="store_true",
+        help="print the transition plan and exit",
+    )
+    sp.set_defaults(fn=cmd_reconfigure)
 
     sp = sub.add_parser(
         "explore",

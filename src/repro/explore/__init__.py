@@ -31,9 +31,11 @@ from .invariants import (
 from .linearize import Op, check_linearizable
 from .scenarios import (
     CsawScenario,
+    ReconfigScenario,
     Scenario,
     arch_scenario,
     load_py_scenario,
+    make_reconfig_scenario,
     resolve_scenario,
 )
 from .schedule import Schedule
@@ -47,6 +49,7 @@ __all__ = [
     "Invariant",
     "Op",
     "RaceWitness",
+    "ReconfigScenario",
     "RecordingController",
     "RunResult",
     "STRATEGIES",
@@ -60,6 +63,7 @@ __all__ = [
     "explore",
     "get_invariants",
     "load_py_scenario",
+    "make_reconfig_scenario",
     "register_invariant",
     "replay",
     "resolve_scenario",

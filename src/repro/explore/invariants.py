@@ -27,6 +27,7 @@ Built-ins:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
@@ -132,6 +133,36 @@ def _at_most_once(system, obs) -> list[str]:
         for (node, mid), n in sorted(applied.items())
         if n > 1
     ]
+
+
+@register_invariant(
+    "reconfig-no-drop",
+    "every request submitted across a reconfiguration completes exactly once",
+)
+def _reconfig_no_drop(system, obs) -> list[str]:
+    out = []
+    if "reconfig_ok" in obs and not obs["reconfig_ok"]:
+        reason = obs.get("reconfig_reason") or "unknown"
+        out.append(f"reconfiguration did not complete: {reason}")
+    submitted = obs.get("submitted")
+    if submitted is None:
+        return out
+    counts = Counter(obs.get("completed", ()))
+    dropped = [rid for rid in submitted if counts[rid] == 0]
+    duplicated = sorted(rid for rid, n in counts.items() if n > 1)
+    phantom = sorted(set(counts) - set(submitted))
+    if dropped:
+        out.append(
+            f"{len(dropped)} request(s) dropped across the transition: "
+            f"{dropped[:8]}"
+        )
+    if duplicated:
+        out.append(f"request(s) completed more than once: {duplicated[:8]}")
+    if phantom:
+        out.append(f"unsubmitted request id(s) completed: {phantom[:8]}")
+    for rid, err in obs.get("failed", ()):
+        out.append(f"request {rid} failed: {err}")
+    return out
 
 
 @register_invariant(

@@ -1,0 +1,31 @@
+"""Live architecture reconfiguration: apply a ``.csaw`` diff to a
+running system.
+
+* :mod:`repro.reconfig.diff` — the architecture differ
+  (:class:`ArchDiff`, :func:`diff_programs`, :func:`apply_diff`).
+* :mod:`repro.reconfig.plan` — the transition planner
+  (:class:`TransitionPlan`, :func:`plan_transition`).
+* :mod:`repro.reconfig.executor` — the engine-portable executor behind
+  :meth:`repro.runtime.system.System.reconfigure`
+  (:class:`ReconfigReport`).
+
+See ``docs/RECONFIG.md`` for the model, the zero-drop quiesce protocol
+and the verification matrix.
+"""
+
+from .diff import ArchDiff, apply_diff, diff_programs, program_signature
+from .executor import ReconfigError, ReconfigReport, execute_reconfiguration
+from .plan import PlanStep, TransitionPlan, plan_transition
+
+__all__ = [
+    "ArchDiff",
+    "apply_diff",
+    "diff_programs",
+    "program_signature",
+    "PlanStep",
+    "TransitionPlan",
+    "plan_transition",
+    "ReconfigError",
+    "ReconfigReport",
+    "execute_reconfiguration",
+]

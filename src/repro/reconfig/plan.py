@@ -1,0 +1,185 @@
+"""Transition planner: an :class:`ArchDiff` → per-instance lifecycle steps.
+
+The plan is decentralized in Concerto-D's sense: each affected instance
+gets its *own* lifecycle chain (quiesce → snapshot → rebind/stop/start
+→ resume) and unaffected instances appear nowhere — they keep serving
+throughout.  The only global synchronization point is the ``cutover``
+step, which waits for every quiesce/snapshot/spawn and gates every
+rebind/start/stop/resume:
+
+* kept-but-affected instance X:  ``quiesce:X → snapshot:X → cutover →
+  rebind:X → resume:X``
+* removed instance R:            ``quiesce:R → snapshot:R → cutover →
+  stop:R``
+* added instance A:              ``spawn:A → cutover → start:A →
+  resume:A``
+* application state transfer:    ``cutover → transfer → resume:*``
+
+The executor (:mod:`repro.reconfig.executor`) applies plans phase by
+phase; :meth:`TransitionPlan.ordered` is the contract tests check —
+every topological order it can emit respects quiesce-before-cutover and
+cutover-before-resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .diff import ArchDiff
+
+__all__ = ["PlanStep", "TransitionPlan", "plan_transition"]
+
+#: step kinds in lifecycle order
+KINDS = (
+    "quiesce",
+    "snapshot",
+    "spawn",
+    "cutover",
+    "rebind",
+    "stop",
+    "start",
+    "transfer",
+    "resume",
+)
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One lifecycle action on one instance (or the global cutover)."""
+
+    step_id: str
+    kind: str
+    target: str | None
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown plan step kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class TransitionPlan:
+    """A dependency DAG of :class:`PlanStep`."""
+
+    steps: tuple[PlanStep, ...]
+
+    def __getitem__(self, step_id: str) -> PlanStep:
+        for s in self.steps:
+            if s.step_id == step_id:
+                return s
+        raise KeyError(step_id)
+
+    def by_kind(self, kind: str) -> list[PlanStep]:
+        return [s for s in self.steps if s.kind == kind]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on dangling dependencies or cycles."""
+        ids = {s.step_id for s in self.steps}
+        if len(ids) != len(self.steps):
+            raise ValueError("duplicate step ids")
+        for s in self.steps:
+            for d in s.deps:
+                if d not in ids:
+                    raise ValueError(f"step {s.step_id!r} depends on unknown {d!r}")
+        self.ordered()  # raises on cycles
+
+    def ordered(self) -> list[PlanStep]:
+        """A deterministic topological order (Kahn's algorithm with a
+        stable lexicographic tie-break on step id)."""
+        steps = {s.step_id: s for s in self.steps}
+        indeg = {sid: len(s.deps) for sid, s in steps.items()}
+        rdeps: dict[str, list[str]] = {sid: [] for sid in steps}
+        for s in self.steps:
+            for d in s.deps:
+                rdeps[d].append(s.step_id)
+        ready = sorted(sid for sid, n in indeg.items() if n == 0)
+        out: list[PlanStep] = []
+        while ready:
+            sid = ready.pop(0)
+            out.append(steps[sid])
+            changed = False
+            for nxt in rdeps[sid]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+                    changed = True
+            if changed:
+                ready.sort()
+        if len(out) != len(self.steps):
+            raise ValueError("transition plan has a dependency cycle")
+        return out
+
+    def closure(self, step_id: str) -> set[str]:
+        """All step ids ``step_id`` transitively depends on."""
+        steps = {s.step_id: s for s in self.steps}
+        seen: set[str] = set()
+        stack = list(steps[step_id].deps)
+        while stack:
+            d = stack.pop()
+            if d not in seen:
+                seen.add(d)
+                stack.extend(steps[d].deps)
+        return seen
+
+    def render(self) -> str:
+        lines = []
+        for s in self.ordered():
+            dep = f"  (after {', '.join(s.deps)})" if s.deps else ""
+            tgt = f" {s.target}" if s.target else ""
+            lines.append(f"{s.kind}{tgt}{dep}")
+        return "\n".join(lines)
+
+
+def plan_transition(
+    diff: ArchDiff,
+    *,
+    rebind: tuple[str, ...] = (),
+    transfer: bool = False,
+) -> TransitionPlan:
+    """Compile a diff into a transition plan.
+
+    ``rebind`` names the kept instances whose junctions must rebind —
+    the executor derives this from the running system (changed
+    templates, changed start arguments, changed config); pure-diff
+    callers may leave it empty.  ``transfer`` inserts the application
+    state-transfer step between cutover and resume.
+    """
+    added = [name for name, _ in diff.instances_added]
+    removed = [name for name, _ in diff.instances_removed]
+    rebind = tuple(n for n in rebind if n not in added and n not in removed)
+
+    steps: list[PlanStep] = []
+    pre_cutover: list[str] = []
+
+    for name in sorted(set(rebind) | set(removed)):
+        steps.append(PlanStep(f"quiesce:{name}", "quiesce", name))
+        steps.append(
+            PlanStep(f"snapshot:{name}", "snapshot", name, deps=(f"quiesce:{name}",))
+        )
+        pre_cutover.append(f"snapshot:{name}")
+    for name in sorted(added):
+        steps.append(PlanStep(f"spawn:{name}", "spawn", name))
+        pre_cutover.append(f"spawn:{name}")
+
+    steps.append(PlanStep("cutover", "cutover", None, deps=tuple(pre_cutover)))
+
+    post_cutover: list[str] = []
+    for name in sorted(rebind):
+        steps.append(PlanStep(f"rebind:{name}", "rebind", name, deps=("cutover",)))
+        post_cutover.append(f"rebind:{name}")
+    for name in sorted(removed):
+        steps.append(PlanStep(f"stop:{name}", "stop", name, deps=("cutover",)))
+    for name in sorted(added):
+        steps.append(PlanStep(f"start:{name}", "start", name, deps=("cutover",)))
+        post_cutover.append(f"start:{name}")
+
+    resume_dep: tuple[str, ...] = ("cutover", *post_cutover)
+    if transfer:
+        steps.append(PlanStep("transfer", "transfer", None, deps=resume_dep))
+        resume_dep = ("transfer",)
+    for name in sorted(set(rebind) | set(added)):
+        steps.append(PlanStep(f"resume:{name}", "resume", name, deps=resume_dep))
+
+    plan = TransitionPlan(steps=tuple(steps))
+    plan.validate()
+    return plan

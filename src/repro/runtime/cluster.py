@@ -436,6 +436,101 @@ class ClusterSupervisor:
         self.clock.rebase()
         self._arm_heartbeat()
 
+    def deploy(self, instances: Sequence[str]) -> None:
+        """Spawn and handshake workers for instances added by a live
+        reconfiguration (one worker per new instance, named after it).
+        Blocking; must be called while the event loop is idle — the
+        reconfiguration executor calls it in the prepare phase, before
+        the transition starts pumping the engine."""
+        fresh = [n for n in sorted(instances) if n not in self.transport.owner]
+        if not fresh or self._stopping:
+            return
+        loop = self.clock.loop
+        futures = []
+        for inst in fresh:
+            # RESTARTING until the handshake lands: unlike attach, the
+            # heartbeat monitor is already ticking, and a RUNNING status
+            # with last_pong=0 would be condemned mid-handshake (and its
+            # auto-restart would steal this expect future)
+            st = WorkerStatus(
+                name=inst,
+                instances=(inst,),
+                state=WorkerState.RESTARTING,
+                last_pong=self.clock.now,
+            )
+            self.statuses[inst] = st
+            self._backoffs[inst] = Backoff(self.policy, self._rng)
+            self.transport.owner[inst] = inst
+            self._procs[inst] = self._spawn(st)
+            futures.append(self.transport.expect(inst))
+        try:
+            loop.run_until_complete(
+                asyncio.wait_for(asyncio.gather(*futures), timeout=_SPAWN_TIMEOUT_WALL)
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            for name in fresh:
+                self.transport.unexpect(name)
+                self._reap(name)
+                self.statuses.pop(name, None)
+                self._procs.pop(name, None)
+                self._backoffs.pop(name, None)
+                self.transport.owner.pop(name, None)
+            raise RuntimeError(
+                "cluster: worker handshake timed out during reconfiguration"
+            ) from None
+        now = self.clock.now
+        for name in fresh:
+            st = self.statuses[name]
+            st.pid = self._procs[name].pid
+            st.state = WorkerState.RUNNING
+            st.last_pong = now
+            st.started_at = now
+            if self.system is not None:
+                self.system.telemetry.emit(
+                    "worker_spawn", name, pid=st.pid, instances=list(st.instances)
+                )
+        # same rationale as attach: don't let the spawn burst's wall
+        # time advance the logical clock past in-flight deadlines
+        self.clock.rebase()
+
+    def retire(self, instances: Sequence[str]) -> None:
+        """Shut down workers whose hosted instances were all removed by
+        a live reconfiguration; grouped workers that still host a
+        surviving instance just shed the removed ones.  Blocking; call
+        while the event loop is idle (after the transition completes)."""
+        targets: dict[str, list[str]] = {}
+        for inst in instances:
+            w = self.transport.owner.get(inst)
+            if w is not None:
+                targets.setdefault(w, []).append(inst)
+        for wname, insts in sorted(targets.items()):
+            st = self.statuses.get(wname)
+            if st is None:
+                continue
+            for i in insts:
+                self.transport.owner.pop(i, None)
+            remaining = tuple(i for i in st.instances if i not in insts)
+            if remaining:
+                st.instances = remaining
+                continue
+            # mark STOPPED *before* closing the link so the link-down
+            # callback doesn't declare a crash and schedule a restart
+            st.state = WorkerState.STOPPED
+            if self.system is not None:
+                self.system.telemetry.emit(
+                    "worker_retire", wname, pid=st.pid, instances=list(st.instances)
+                )
+            self.transport.request_shutdown(wname)
+            try:
+                self.clock.loop.run_until_complete(asyncio.sleep(0.05))
+            except RuntimeError:  # pragma: no cover - loop unexpectedly running
+                pass
+            self.transport.close_link(wname)
+            self._reap(wname)
+            self.statuses.pop(wname, None)
+            self._procs.pop(wname, None)
+            self._backoffs.pop(wname, None)
+
     def _spawn(self, st: WorkerStatus) -> subprocess.Popen:
         proc = subprocess.Popen(
             [
@@ -554,8 +649,10 @@ class ClusterSupervisor:
     def _restart(self, name: str) -> None:
         if self._stopping:
             return
-        st = self.statuses[name]
-        if st.state is not WorkerState.DOWN:
+        st = self.statuses.get(name)
+        if st is None or st.state is not WorkerState.DOWN:
+            # gone: a live reconfiguration retired the worker while its
+            # restart was pending
             return
         st.state = WorkerState.RESTARTING
         self._procs[name] = self._spawn(st)
@@ -563,12 +660,22 @@ class ClusterSupervisor:
         self.clock.loop.create_task(self._complete_restart(name, fut))
 
     async def _complete_restart(self, name: str, fut: asyncio.Future) -> None:
-        st = self.statuses[name]
+        st = self.statuses.get(name)
+        if st is None:  # retired before the handshake wait even began
+            self.transport.unexpect(name)
+            self._reap(name)
+            return
         try:
             await asyncio.wait_for(fut, timeout=_SPAWN_TIMEOUT_WALL)
+        except asyncio.CancelledError:
+            self.transport.unexpect(name)
+            self._reap(name)
+            return
         except (asyncio.TimeoutError, TimeoutError):
             self.transport.unexpect(name)
             self._reap(name)
+            if self.statuses.get(name) is not st:
+                return  # retired while the spawn was in flight
             st.state = WorkerState.DOWN
             delay = self._backoffs[name].next_delay()
             if delay is None:
@@ -577,6 +684,12 @@ class ClusterSupervisor:
                 self._update_degraded()
                 return
             self.clock.call_after(delay, lambda: self._restart(name))
+            return
+        if self.statuses.get(name) is not st:
+            # a live reconfiguration retired the worker while its
+            # replacement process was handshaking: it is no longer ours
+            self.transport.close_link(name)
+            self._reap(name)
             return
         now = self.clock.now
         st.state = WorkerState.RUNNING
@@ -761,6 +874,12 @@ class ClusterEngine(ExecutionEngine):
         self.supervisor.attach(system)
         for t, inst in self._drills:
             self.clock.call_at(t, lambda i=inst: self.supervisor.kill(i))
+
+    def prepare_instances(self, names) -> None:
+        self.supervisor.deploy(names)
+
+    def retire_instances(self, names) -> None:
+        self.supervisor.retire(names)
 
     def drain(self, grace: float = 5.0) -> bool:
         return self.supervisor.drain(grace)

@@ -238,6 +238,20 @@ class ExecutionEngine:
             self.clock.run_until(min(self.clock.now + 0.1, deadline))
         return self.transport.in_flight + self.executor.in_flight == 0
 
+    # -- live reconfiguration ----------------------------------------------
+
+    def prepare_instances(self, names) -> None:
+        """Provision backend resources for instances about to be added
+        by a live reconfiguration (cluster: spawn worker processes).
+        Called from blocking code before the transition's quiesce phase;
+        a no-op for in-process engines."""
+
+    def retire_instances(self, names) -> None:
+        """Release backend resources of instances removed by a live
+        reconfiguration (cluster: shut down and reap their workers).
+        Called after the transition completes; a no-op for in-process
+        engines."""
+
     def close(self) -> None:
         """Release backend resources (threads, sockets, event loops).
         Idempotent; a no-op for the sim engine."""

@@ -82,6 +82,15 @@ class JunctionRuntime:
         self.decls: tuple[A.Decl, ...] = ()
         self.status = "idle"  # 'idle' | 'running'
         self.sched_count = 0
+        #: reconfiguration quiesce flag: a paused junction buffers
+        #: inbound updates (they still apply/ack through the reliable
+        #: delivery layer) but schedules no new executions until resumed
+        self.paused = False
+        #: has this junction ever been driven from outside the
+        #: architecture (external_update/external_data/poke)?  The
+        #: reconfiguration executor pauses these *inbound* junctions
+        #: first so the rest of the pipeline can drain naturally.
+        self.external_inbound = False
         #: names of declared idx / subset state (host-writable)
         self.idx_names: set[str] = set()
         self.subset_names: set[str] = set()
@@ -202,6 +211,11 @@ class InstanceRuntime:
         raise CompileError(
             f"instance {self.name!r} has {len(self.junctions)} junctions; qualify the target"
         )
+
+    def set_paused(self, value: bool) -> None:
+        """Pause/resume every junction of this instance (reconfig quiesce)."""
+        for jr in self.junctions.values():
+            jr.paused = value
 
     @property
     def alive(self) -> bool:

@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 import warnings
 from functools import partial
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..core import ast as A
 from ..core.compiler import CompiledProgram
@@ -181,6 +181,13 @@ class System:
 
         self._executions: dict[str, JunctionExecution] = {}
         self._started_main = False
+        #: AST-valued environment ``main`` was started with (config +
+        #: caller overrides); reconfiguration re-evaluates the *new*
+        #: program's start expression against it so unchanged parameters
+        #: keep their original values
+        self._main_env: dict[str, object] = {}
+        #: re-entrancy latch for :meth:`reconfigure`
+        self._reconfiguring = False
         #: transient causal context: the event that triggered the KV
         #: receive currently being processed (see ``_make_deliver``)
         self._attempt_cause: int | None = None
@@ -271,6 +278,7 @@ class System:
         missing = [p for p in main.params if p not in env]
         if missing:
             raise CompileError(f"main parameters missing values: {missing}")
+        self._main_env = dict(env)
 
         body, _ = specialize(main.body, (), env)
 
@@ -391,32 +399,7 @@ class System:
         config_env = self.program.config_env()
 
         for jname, jr in inst.junctions.items():
-            cj = jr.compiled
-            args = arg_groups.get(jname, ())
-            if len(args) != len(cj.params):
-                raise StartStopFailure(
-                    f"start {inst.name}: junction {jname!r} expects {len(cj.params)} "
-                    f"parameter(s), got {len(args)}"
-                )
-            env = dict(config_env)
-            env.update(dict(zip(cj.params, args)))
-            body, decls = specialize(cj.body, cj.decls, env)
-            body = resolve_me_expr(body, inst.name, jname)
-            decls = tuple(resolve_me_decl(d, inst.name, jname) for d in decls)
-            validate_closed_junction(cj.qualified, decls, body, cj.params)
-            jr.body = body
-            jr.decls = decls
-            jr.guard = TRUE
-            for d in decls:
-                if isinstance(d, A.Guard):
-                    jr.guard = d.formula
-            jr.ast_params = dict(zip(cj.params, args))
-            jr.params = {p: _to_runtime_value(v) for p, v in jr.ast_params.items()}
-            jr.init_state()
-            jr.table.attach_telemetry(self.telemetry)
-            jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
-            jr.code = self._compile_junction(jr)
-            self.network.register(jr.node, self._make_deliver(jr))
+            self._bind_junction(inst, jr, arg_groups.get(jname, ()), config_env)
 
         self.telemetry.counter("instance_starts", instance=inst.name).inc()
         ev = self.telemetry.emit("start_instance", inst.name, parent=parent)
@@ -424,6 +407,87 @@ class System:
         # arbitrary order — model with an immediate attempt for each
         for jr in inst.junctions.values():
             self._attempt_soon(jr, cause=ev)
+
+    def _bind_junction(
+        self,
+        inst: InstanceRuntime,
+        jr: JunctionRuntime,
+        args: tuple,
+        config_env: Mapping[str, object],
+    ) -> None:
+        """Specialize a junction template against its arguments and wire
+        it into the network.  Used both at instance start and when the
+        reconfiguration executor rebinds a live junction to a new
+        template (the table is re-initialized; the caller restores any
+        carried-over state afterwards)."""
+        cj = jr.compiled
+        if len(args) != len(cj.params):
+            raise StartStopFailure(
+                f"start {inst.name}: junction {jr.name!r} expects {len(cj.params)} "
+                f"parameter(s), got {len(args)}"
+            )
+        env = dict(config_env)
+        env.update(dict(zip(cj.params, args)))
+        body, decls = specialize(cj.body, cj.decls, env)
+        body = resolve_me_expr(body, inst.name, jr.name)
+        decls = tuple(resolve_me_decl(d, inst.name, jr.name) for d in decls)
+        validate_closed_junction(cj.qualified, decls, body, cj.params)
+        jr.body = body
+        jr.decls = decls
+        jr.guard = TRUE
+        for d in decls:
+            if isinstance(d, A.Guard):
+                jr.guard = d.formula
+        jr.ast_params = dict(zip(cj.params, args))
+        jr.params = {p: _to_runtime_value(v) for p, v in jr.ast_params.items()}
+        jr.init_state()
+        jr.table.attach_telemetry(self.telemetry)
+        jr.table.on_idle_update = lambda j=jr: self._attempt_soon(j)
+        jr.code = self._compile_junction(jr)
+        self.network.register(jr.node, self._make_deliver(jr))
+
+    def reconfigure(
+        self,
+        new_program: CompiledProgram | None = None,
+        *,
+        main_args: Mapping[str, object] | None = None,
+        quiesce_grace: float = 5.0,
+        poll: float = 0.01,
+        bind: "Callable[[System], None] | None" = None,
+        on_transfer=None,
+    ):
+        """Live-reconfigure this running system to ``new_program``.
+
+        Diffs the running architecture against the target, plans a
+        decentralized transition (quiesce inbound junctions → serde
+        state snapshot → cutover/rebind → transfer → resume) and applies
+        it without dropping client requests: updates addressed to a
+        quiescing junction keep buffering (and acking) through the
+        reliable-delivery layer and replay after cutover.
+
+        ``new_program=None`` re-binds against the *same* program with
+        new ``main_args`` (parameter-only reconfiguration).  ``bind``
+        runs before cutover to install host bindings for newly added
+        instance types; ``on_transfer(system, removed_apps)`` runs after
+        cutover for application-level state transfer (e.g. resharding).
+
+        Must be called from outside engine callbacks (like
+        :meth:`run_until`): the quiesce phase pumps the engine, and on
+        the cluster engine worker processes spawn/retire around it.
+
+        Returns a :class:`repro.reconfig.ReconfigReport`.
+        """
+        from ..reconfig.executor import execute_reconfiguration
+
+        return execute_reconfiguration(
+            self,
+            new_program,
+            main_args=main_args,
+            quiesce_grace=quiesce_grace,
+            poll=poll,
+            bind=bind,
+            on_transfer=on_transfer,
+        )
 
     def exec_stop(self, node: A.Stop, caller: JunctionRuntime | None) -> None:
         self.stop_instance(
@@ -501,7 +565,7 @@ class System:
     def attempt_schedule(self, jr: JunctionRuntime, cause: int | None = None) -> bool:
         """Apply pending updates, check the guard, and run if it holds."""
         inst = jr.instance
-        if not inst.alive or jr.status != "idle" or jr.body is None:
+        if not inst.alive or jr.paused or jr.status != "idle" or jr.body is None:
             return False
         tel = self.telemetry
         attempt_ev = tel.emit("attempt", jr.node, parent=cause) if tel.enabled else None
@@ -684,6 +748,7 @@ class System:
         application asserting ``Req`` on a client request) and attempt a
         scheduling."""
         jr = self.junction(node)
+        jr.external_inbound = True
         tel = self.telemetry
         ev = tel.emit("external_update", jr.node, key=key) if tel.enabled else None
         self._attempt_cause = ev
@@ -697,6 +762,7 @@ class System:
     def external_data(self, node: str, key: str, obj: object, schema: str | None = None) -> None:
         """Install externally-supplied named data (serialized)."""
         jr = self.junction(node)
+        jr.external_inbound = True
         payload = self.serializer.encode(schema, obj)
         ev = self.telemetry.emit("external_data", jr.node, key=key)
         self._attempt_cause = ev
@@ -708,6 +774,7 @@ class System:
     def poke(self, node: str) -> None:
         """Attempt to schedule a junction."""
         jr = self.junction(node)
+        jr.external_inbound = True
         self._attempt_soon(jr, cause=self.telemetry.emit("poke", jr.node))
 
     def read_state(self, node: str, key: str):

@@ -1,0 +1,20 @@
+"""Reconfiguration-suite fixtures: cluster worker-process hygiene.
+
+The chaos and zero-drop tests deploy on the cluster engine; this
+autouse fixture reaps any worker process group a crashing test left
+behind and fails the test that leaked it (same policy as the engine
+suite).
+"""
+
+import pytest
+
+from repro.runtime.cluster import live_worker_pgids, reap_orphan_workers
+
+
+@pytest.fixture(autouse=True)
+def no_orphan_workers():
+    before = live_worker_pgids()
+    yield
+    leaked = reap_orphan_workers()
+    fresh = [pgid for pgid in leaked if pgid not in before]
+    assert not fresh, f"test leaked cluster worker process group(s): {fresh}"

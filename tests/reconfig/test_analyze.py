@@ -1,0 +1,87 @@
+"""Static-analysis gate for reconfiguration targets.
+
+A live transition is only as safe as its *target* architecture, so the
+analyzer must stay green not just for the shipped sources (the
+``tests/analysis`` sweep) but for every source the reconfiguration
+machinery generates: the swapped failover programs and the resharded
+sharding programs.  This is the gate the ``reconfig-parity`` CI job
+runs — it re-sweeps the shipped ten too, so the job is self-contained.
+
+The diff layer is also exercised on the real shipped programs (the
+hypothesis suite uses synthetic ones): every generated transition has
+a non-empty diff, and ``apply_diff`` reconstructs the target up to
+:func:`program_signature`.
+"""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.arch.loader import ARCHITECTURES, load_source
+from repro.core.compiler import compile_program
+from repro.reconfig import apply_diff, diff_programs, program_signature
+
+
+def _errors(report):
+    return [f for f in report.unsuppressed() if f.severity == "error"]
+
+
+def _fmt(findings):
+    return "\n".join(f"{f.kind} at {f.node} (key {f.key!r})" for f in findings)
+
+
+def assert_green(text, label):
+    report = analyze_source(text, label=label)
+    assert _errors(report) == [], _fmt(_errors(report))
+
+
+@pytest.mark.parametrize("name", ARCHITECTURES)
+def test_shipped_source_is_green(name):
+    assert_green(load_source(name), name)
+
+
+# -- generated reconfiguration targets --------------------------------------
+
+
+def swap_variants():
+    from repro.arch.failover import swap_backend_source
+
+    for program_name in ("failover", "failover_fast"):
+        yield (
+            f"{program_name}:b2->b3",
+            load_source(program_name),
+            swap_backend_source("b2", "b3", program_name=program_name),
+        )
+
+
+def reshard_variants():
+    for name in ("sharding", "parallel_sharding"):
+        for n_old, n_new in ((2, 3), (2, 4), (3, 5)):
+            yield (
+                f"{name}:{n_old}->{n_new}",
+                load_source(name, n_backends=n_old),
+                load_source(name, n_backends=n_new),
+            )
+
+
+TRANSITIONS = {label: (old, new) for label, old, new in (
+    *swap_variants(), *reshard_variants()
+)}
+
+
+@pytest.mark.parametrize("label", sorted(TRANSITIONS))
+def test_generated_target_is_green(label):
+    _, new = TRANSITIONS[label]
+    assert_green(new, label)
+
+
+@pytest.mark.parametrize("label", sorted(TRANSITIONS))
+def test_transition_diff_applies(label):
+    old_text, new_text = TRANSITIONS[label]
+    old = compile_program(old_text)
+    new = compile_program(new_text)
+    d = diff_programs(old, new)
+    assert not d.is_empty, label
+    assert program_signature(apply_diff(old, d)) == program_signature(new)
+    # and the reverse direction patches back
+    back = diff_programs(new, old)
+    assert program_signature(apply_diff(new, back)) == program_signature(old)

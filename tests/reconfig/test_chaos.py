@@ -1,0 +1,144 @@
+"""Chaos soak: live reconfiguration under seeded faults on the cluster
+engine — real worker processes, real SIGKILL, simulated link loss.
+
+Two drills:
+
+* a sharding reshard with seeded loss windows on the front→shard links
+  across the whole transition — reliable delivery retries through the
+  loss, the transition completes, and every request still completes
+  exactly once with ``ok=True``;
+* a failover replica swap with one ``kill_process_at`` aimed into the
+  transition window (the survivor ``b1``'s worker is SIGKILLed while
+  the swap is in flight) — the transition completes or rolls back
+  cleanly, the supervisor restarts the worker, and no request is
+  dropped or duplicated (requests may *fail* while every replica is
+  momentarily gone; they may not vanish).
+"""
+
+from repro.redislite import Command
+from repro.runtime import FaultPlan, default_engine
+from repro.runtime.cluster import ClusterEngine
+from repro.runtime.supervisor import BackoffPolicy, WorkerState
+
+SCALE = 0.02
+HB = dict(heartbeat_interval=0.5, heartbeat_timeout=2.0)
+#: deterministic, quick restart so recovery lands inside the soak
+BACKOFF = BackoffPolicy(base=3.0, jitter=0.0)
+
+
+def _engine():
+    return ClusterEngine(time_scale=SCALE, backoff=BACKOFF, **HB)
+
+
+def _submit(svc, i, submitted, completed):
+    submitted.append(i)
+    svc.submit(
+        Command("SET", f"k{i}", b"%d" % i),
+        lambda r, i=i: completed.append((i, bool(r.ok))),
+    )
+
+
+def _exactly_once(submitted, completed):
+    ids = [i for i, _ in completed]
+    assert sorted(ids) == sorted(submitted), (
+        f"dropped: {set(submitted) - set(ids)}, "
+        f"duplicated: {sorted(i for i in set(ids) if ids.count(i) > 1)}"
+    )
+
+
+def test_reshard_through_loss_windows():
+    from repro.arch.sharding import ShardedRedis
+
+    with default_engine(_engine):
+        svc = ShardedRedis(n_shards=2, seed=7, timeout=60.0)
+    sys_ = svc.system
+    submitted, completed = [], []
+
+    for i in range(3):
+        _submit(svc, i, submitted, completed)
+        sys_.run_until(sys_.now + 1.5)
+
+    plan = FaultPlan(sys_)
+    now = sys_.now
+    # lossy front→shard links across the entire transition window;
+    # reliable delivery (ack + retry) must carry every update through
+    plan.set_loss_between(now, now + 25.0, "Fnt", "Bck1", 0.4)
+    plan.set_loss_between(now, now + 25.0, "Fnt", "Bck2", 0.4)
+    for j, off in enumerate((0.0, 0.5, 1.5)):
+        sys_.clock.call_after(
+            off, lambda i=3 + j: _submit(svc, i, submitted, completed)
+        )
+
+    rep = svc.reconfigure_shards(3)
+    assert rep.ok, rep.reason
+    sys_.run_until(sys_.now + 30.0)
+
+    for i in range(6, 9):
+        _submit(svc, i, submitted, completed)
+        sys_.run_until(sys_.now + 1.5)
+    sys_.run_until(sys_.now + 20.0)
+
+    _exactly_once(submitted, completed)
+    assert all(ok for _, ok in completed), completed
+    assert not sys_.failures
+    sup = sys_.engine.supervisor
+    assert sup.report().recovered()
+    assert any(k == "set_loss" for (_, k, _) in plan.injected)
+    sys_.shutdown()
+
+
+def test_swap_survives_worker_kill_in_window():
+    from repro.arch.failover import FailoverRedis
+
+    with default_engine(_engine):
+        svc = FailoverRedis(seed=7, timeout=2.0)
+    sys_ = svc.system
+    submitted, completed = [], []
+
+    for i in range(3):
+        _submit(svc, i, submitted, completed)
+        sys_.run_until(sys_.now + 1.5)
+
+    plan = FaultPlan(sys_)
+    # SIGKILL the *surviving* replica's worker mid-transition: the
+    # quiesce needs up to one reactivate window (3*t = 6.0s), so +6.5
+    # aims the kill at the cutover/spawn stretch of the swap
+    plan.kill_process_at(sys_.now + 6.5, "b1")
+    for j, off in enumerate((0.0, 1.0)):
+        sys_.clock.call_after(
+            off, lambda i=3 + j: _submit(svc, i, submitted, completed)
+        )
+
+    rep = svc.swap_backend("b2", "b3", quiesce_grace=10.0)
+    assert rep.ok or rep.rolled_back, rep.reason
+    sys_.run_until(sys_.now + 30.0)  # backoff + restart + re-register
+
+    # health check, event-driven: wait for a replica to re-register,
+    # then prove the service completes new work.  A couple of attempts,
+    # because on a loaded host a single fan-out can still time out
+    # against the 2s window even with every replica healthy.
+    deadline = sys_.now + 60.0
+    while not svc.registered_backends() and sys_.now < deadline:
+        sys_.run_until(sys_.now + 5.0)
+    assert svc.registered_backends()
+    healthy = False
+    n = 5
+    for _ in range(3):
+        _submit(svc, n, submitted, completed)
+        n += 1
+        sys_.run_until(sys_.now + 4.0)
+        if completed and completed[-1] == (n - 1, True):
+            healthy = True
+            break
+    sys_.run_until(sys_.now + 15.0)
+    assert healthy, completed
+
+    _exactly_once(submitted, completed)
+    sup = sys_.engine.supervisor
+    st = sup.statuses["b1"]
+    assert st.crashes >= 1 and st.restarts >= 1
+    assert st.state is WorkerState.RUNNING
+    assert sup.report().recovered()
+    assert any(k == "kill_process" for (_, k, _) in plan.injected)
+    assert not sys_.failures
+    sys_.shutdown()
