@@ -1,0 +1,84 @@
+"""Workload throughput through the shipped broker architecture.
+
+Not a paper figure — instrumentation for the workload suite
+(docs/WORKLOADS.md): a seeded flash-crowd schedule over a large user
+population drives ``broker_sharded`` through the engine seam, and the
+benchmark records the throughput and latency shape (ops/sec, p50/p99,
+drop count — which must be zero) plus the combined run digest into
+``BENCH_workload_throughput.json`` for the sim and cluster engines.
+The digest makes the entry self-checking: on the sim engine the same
+spec must reproduce it bit-for-bit.
+"""
+
+from conftest import print_table, record_bench
+
+from repro.workload import WorkloadSpec, materialize, run_workload
+
+#: wall seconds per logical second on the cluster engine — generous
+#: enough that real worker processes (~300 ops/s wall) drain the whole
+#: schedule inside the driver's logical horizon
+TIME_SCALE = 0.1
+
+SPEC = WorkloadSpec(
+    seed=0,
+    users=1_000_000,
+    pattern="flash-crowd",
+    rate=100.0,
+    duration=10.0,
+    max_ops=1000,
+)
+
+ENGINES = (
+    ("sim", "sim"),
+    ("cluster", f"cluster,time_scale={TIME_SCALE},"
+                "heartbeat_interval=0.5,heartbeat_timeout=2.0"),
+)
+
+
+def test_workload_throughput(benchmark=None):
+    rows = []
+    sim_digest = None
+    for name, espec in ENGINES:
+        report = run_workload(SPEC, "broker_sharded", espec)
+        stats = {
+            "arch": report.arch,
+            "ops_submitted": report.ops_submitted,
+            "ops_completed": report.ops_completed,
+            "ops_failed": report.ops_failed,
+            "ops_dropped": report.ops_dropped,
+            "ops_per_sec": round(report.ops_per_sec, 2),
+            "p50_ms": round(report.p50_ms, 3),
+            "p99_ms": round(report.p99_ms, 3),
+            "logical_seconds": round(report.logical_seconds, 3),
+            "digest": report.digest,
+            "spec": SPEC.as_dict(),
+        }
+        record_bench("workload_throughput", stats, engine=name,
+                     wall_seconds=report.wall_seconds)
+        rows.append([
+            name, stats["ops_completed"], stats["ops_per_sec"],
+            stats["p50_ms"], stats["p99_ms"],
+            round(report.wall_seconds, 2),
+        ])
+
+        # the guarantee: every generated op completes, none are dropped
+        assert report.ops_completed == report.ops_submitted == len(materialize(SPEC))
+        assert report.ops_failed == 0 and report.ops_dropped == 0
+        assert 0 < report.p50_ms <= report.p99_ms
+
+        if name == "sim":
+            # simulated runs are reproducible bit-for-bit
+            sim_digest = report.digest
+            again = run_workload(SPEC, "broker_sharded", espec)
+            assert again.digest == sim_digest
+        else:
+            # every engine executes the identical generated schedule
+            assert report.schedule_digest == run_workload(
+                SPEC, "broker_sharded", "sim"
+            ).schedule_digest
+
+    print_table(
+        "flash-crowd workload, 1M users, broker_sharded (logical ms)",
+        ["engine", "completed", "ops/sec", "p50 ms", "p99 ms", "wall s"],
+        rows,
+    )

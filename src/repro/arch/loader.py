@@ -26,6 +26,8 @@ ARCHITECTURES = (
     "migration",
     "elastic",
     "watched_failover",
+    "broker_sharded",
+    "broker_failover",
 )
 
 

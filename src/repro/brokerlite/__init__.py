@@ -1,0 +1,31 @@
+"""brokerlite — a mini message-broker substrate.
+
+The paper exercises C-Saw over three substrates (redislite, curlite,
+suricatalite); brokerlite adds the workload shape none of them has: a
+**partitioned append-only log** with offset-tracked **consumer
+groups** — the natural stressor for the sharding and fail-over
+architectures (every publish is a write that must land exactly once
+and in order, every fetch is an offset-addressed read, and group
+membership changes force a partition **rebalance**).
+
+Like the other substrates, brokerlite is a host-language application
+object: it executes :class:`BrokerRequest` commands against partition
+logs and reports a simulated CPU cost per command, so DSL host blocks
+can ``ctx.take(cost)`` and the discrete-event engines reproduce
+throughput behaviour.
+"""
+
+from .broker import BrokerCostModel, BrokerReply, BrokerRequest, BrokerServer
+from .groups import GroupCoordinator
+from .log import PartitionLog, Record, partition_for
+
+__all__ = [
+    "BrokerCostModel",
+    "BrokerReply",
+    "BrokerRequest",
+    "BrokerServer",
+    "GroupCoordinator",
+    "PartitionLog",
+    "Record",
+    "partition_for",
+]

@@ -1,0 +1,158 @@
+"""The brokerlite server: command execution with a service-time model.
+
+A :class:`BrokerServer` is the application object C-Saw instances wrap
+in the broker architectures.  It hosts a set of partitions (the
+partitioned log is spread across instances; each server holds the
+partitions routed to it) and executes :class:`BrokerRequest` commands,
+reporting a simulated CPU cost per command so host blocks can
+``ctx.take(cost)`` — the same embedding contract as
+:class:`~repro.redislite.server.RedisServer`.
+
+Commands:
+
+* ``PUB partition key value`` — append to the partition's log; replies
+  with the assigned offset.
+* ``FETCH partition offset [max]`` — read up to ``max`` records from
+  ``offset``; replies with the records (wire-shaped lists) and the
+  partition's high-water mark.
+* ``COMMIT group partition offset`` — record a consumer group's
+  committed offset for a partition (monotone: a stale commit below the
+  current mark is acknowledged but does not move it).
+* ``OFFSET group partition`` — read the committed offset (0 when the
+  group never committed).
+
+The cost model is deliberately simple and documented: a fixed
+per-command dispatch cost plus per-byte payload costs — enough for the
+workload suite's throughput/latency shapes without pretending to be
+cycle-accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .log import PartitionLog, Record
+
+
+@dataclass(frozen=True)
+class BrokerRequest:
+    """A client command.  ``op`` in {PUB, FETCH, COMMIT, OFFSET}."""
+
+    op: str
+    partition: int
+    key: str = ""
+    value: bytes = b""
+    offset: int = 0
+    max_records: int = 64
+    group: str = ""
+
+    def payload_size(self) -> int:
+        return len(self.value)
+
+
+@dataclass(frozen=True)
+class BrokerReply:
+    ok: bool
+    offset: int | None = None       # PUB: assigned; COMMIT/OFFSET: committed
+    records: list | None = None     # FETCH: wire-shaped record lists
+    high_water: int | None = None   # FETCH: partition next_offset
+
+
+@dataclass
+class BrokerCostModel:
+    """Simulated CPU costs (seconds)."""
+
+    per_command: float = 80e-6   # dispatch + parse + respond
+    per_byte: float = 0.002e-6   # payload handling (in and out)
+    per_record: float = 2e-6     # per record touched by a fetch
+    transfer_per_record: float = 3e-6  # re-partitioning move cost
+
+
+class BrokerServer:
+    """One broker node: the partitions routed to it, plus the committed
+    offsets of consumer groups on those partitions."""
+
+    def __init__(self, name: str = "broker", cost: BrokerCostModel | None = None):
+        self.name = name
+        self.cost = cost or BrokerCostModel()
+        self.partitions: dict[int, PartitionLog] = {}
+        #: (group, partition) -> committed offset
+        self.commits: dict[tuple[str, int], int] = {}
+        self.commands_executed = 0
+
+    # -- partition hosting ---------------------------------------------------
+
+    def partition(self, p: int) -> PartitionLog:
+        """The hosted partition ``p`` (created on first touch — the
+        router decides placement; the server just stores)."""
+        log = self.partitions.get(p)
+        if log is None:
+            log = self.partitions[p] = PartitionLog(p)
+        return log
+
+    def partition_sizes(self) -> dict[int, int]:
+        return {p: log.size() for p, log in sorted(self.partitions.items())}
+
+    def records_stored(self) -> int:
+        return sum(log.size() for log in self.partitions.values())
+
+    # -- command execution ---------------------------------------------------
+
+    def execute(self, req: BrokerRequest, now: float = 0.0) -> tuple[BrokerReply, float]:
+        """Execute ``req``; returns (reply, simulated CPU cost)."""
+        self.commands_executed += 1
+        cost = self.cost.per_command + req.payload_size() * self.cost.per_byte
+        op = req.op.upper()
+        if op == "PUB":
+            offset = self.partition(req.partition).append(req.key, req.value, ts=now)
+            return BrokerReply(ok=True, offset=offset), cost
+        if op == "FETCH":
+            log = self.partition(req.partition)
+            records = log.read(req.offset, req.max_records)
+            cost += len(records) * self.cost.per_record
+            cost += sum(len(r.value) for r in records) * self.cost.per_byte
+            return BrokerReply(
+                ok=True,
+                records=[r.as_list() for r in records],
+                high_water=log.next_offset,
+            ), cost
+        if op == "COMMIT":
+            k = (req.group, req.partition)
+            committed = max(self.commits.get(k, 0), req.offset)
+            self.commits[k] = committed
+            return BrokerReply(ok=True, offset=committed), cost
+        if op == "OFFSET":
+            return BrokerReply(
+                ok=True, offset=self.commits.get((req.group, req.partition), 0)
+            ), cost
+        return BrokerReply(ok=False), cost
+
+    # -- re-partitioning -----------------------------------------------------
+
+    def drain_records(self) -> tuple[list[Record], float]:
+        """Take every hosted record (oldest partition first, offset
+        order within a partition) and the cost of moving them — the
+        state-transfer half of a partition-count change."""
+        out: list[Record] = []
+        for p in sorted(self.partitions):
+            out.extend(self.partitions[p].records)
+        cost = len(out) * self.cost.transfer_per_record
+        self.partitions = {}
+        return out, cost
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "partitions": {p: log.snapshot() for p, log in self.partitions.items()},
+            "commits": {f"{g}\x00{p}": off for (g, p), off in self.commits.items()},
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.partitions = {}
+        for p, recs in snap["partitions"].items():
+            log = self.partition(int(p))
+            log.restore(recs)
+        self.commits = {}
+        for gp, off in snap["commits"].items():
+            g, _, p = gp.partition("\x00")
+            self.commits[(g, int(p))] = off

@@ -1,0 +1,82 @@
+"""Consumer-group coordination: membership and partition assignment.
+
+A :class:`GroupCoordinator` tracks the members of one consumer group
+and deterministically assigns partitions to members with the *range*
+strategy (sorted members, contiguous partition slices — the Kafka
+default).  Every membership change bumps the group **generation** and
+recomputes the assignment; a fetch presented with a stale generation is
+the classic zombie-consumer hazard, which callers detect by comparing
+generations.
+
+Committed offsets live with the partition owner (the
+:class:`~repro.brokerlite.broker.BrokerServer` hosting the partition),
+not here: the coordinator decides *who may consume what*, the owner
+records *how far they got* — mirroring how the broker architectures
+split routing (DSL) from storage (substrate).
+"""
+
+from __future__ import annotations
+
+
+class GroupCoordinator:
+    """Membership + deterministic range assignment for one group."""
+
+    def __init__(self, group: str, n_partitions: int):
+        if n_partitions <= 0:
+            raise ValueError(f"n_partitions must be positive, got {n_partitions}")
+        self.group = group
+        self.n_partitions = n_partitions
+        self.members: list[str] = []
+        self.generation = 0
+        self.assignment: dict[str, list[int]] = {}
+        self.rebalances = 0
+
+    def join(self, member: str) -> int:
+        """Add a member (idempotent); returns the new generation."""
+        if member not in self.members:
+            self.members.append(member)
+            self._rebalance()
+        return self.generation
+
+    def leave(self, member: str) -> int:
+        """Remove a member (idempotent); returns the new generation."""
+        if member in self.members:
+            self.members.remove(member)
+            self._rebalance()
+        return self.generation
+
+    def resize(self, n_partitions: int) -> int:
+        """Adopt a new partition count (a live re-partitioning) and
+        rebalance the existing membership over it."""
+        if n_partitions <= 0:
+            raise ValueError(f"n_partitions must be positive, got {n_partitions}")
+        if n_partitions != self.n_partitions:
+            self.n_partitions = n_partitions
+            self._rebalance()
+        return self.generation
+
+    def partitions_of(self, member: str) -> list[int]:
+        return list(self.assignment.get(member, ()))
+
+    def owner_of(self, partition: int) -> str | None:
+        for member, parts in self.assignment.items():
+            if partition in parts:
+                return member
+        return None
+
+    def _rebalance(self) -> None:
+        """Range assignment: sorted members get contiguous slices;
+        the first ``n_partitions % len(members)`` members get one
+        extra.  Deterministic in (members, n_partitions)."""
+        self.generation += 1
+        self.rebalances += 1
+        self.assignment = {}
+        members = sorted(self.members)
+        if not members:
+            return
+        per, extra = divmod(self.n_partitions, len(members))
+        start = 0
+        for i, member in enumerate(members):
+            count = per + (1 if i < extra else 0)
+            self.assignment[member] = list(range(start, start + count))
+            start += count

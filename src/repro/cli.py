@@ -554,6 +554,53 @@ def cmd_run(args) -> int:
     return 1 if system.failures else 0
 
 
+def cmd_workload(args) -> int:
+    from .workload import ADAPTERS, WorkloadSpec, run_workload
+
+    if args.arch not in ADAPTERS:
+        print(
+            f"error: no workload adapter for {args.arch!r}; "
+            f"have {', '.join(sorted(ADAPTERS))}",
+            file=sys.stderr,
+        )
+        return 1
+    spec = WorkloadSpec(
+        seed=args.seed,
+        users=args.users,
+        pattern=args.pattern,
+        mode=args.mode,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        duration=args.duration,
+        max_ops=args.max_ops,
+        value_size=args.value_size,
+        read_fraction=args.read_fraction,
+    )
+    engine = _engine_spec(args, command="workload", default_time_scale=0.05)
+    with _compile_ctx(engine):
+        report = run_workload(spec, args.arch, engine)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"{args.arch}: engine={report.engine} pattern={spec.pattern} "
+            f"mode={spec.mode} users={spec.users}"
+        )
+        print(
+            f"  ops: {report.ops_completed} completed, {report.ops_failed} failed, "
+            f"{report.ops_dropped} dropped of {report.ops_submitted} submitted"
+        )
+        print(
+            f"  throughput: {report.ops_per_sec:.1f} ops/sec over "
+            f"{report.logical_seconds:.1f} logical s ({report.wall_seconds:.2f}s wall)"
+        )
+        print(f"  latency: p50={report.p50_ms:.3f}ms p99={report.p99_ms:.3f}ms")
+        print(f"  digest: {report.digest}")
+    return 1 if report.ops_dropped else 0
+
+
 def cmd_cluster(args) -> int:
     import time as _time
 
@@ -948,6 +995,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="deprecated: use --engine NAME,time_scale=X",
     )
     sp.set_defaults(fn=cmd_run)
+
+    sp = sub.add_parser(
+        "workload",
+        help="drive a seeded million-user workload through an architecture "
+             "and report ops/sec, p50/p99 and drops",
+    )
+    sp.add_argument(
+        "--arch", default="broker_sharded",
+        help="architecture adapter: broker_sharded | broker_failover | "
+             "sharding | failover (default: broker_sharded)",
+    )
+    sp.add_argument(
+        "--engine", metavar="SPEC", default="sim",
+        help="engine spec: sim | realtime | realtime-tcp | cluster plus "
+             "key=value options (default: sim)",
+    )
+    sp.add_argument("--seed", type=int, default=0, help="generator seed (default: 0)")
+    sp.add_argument(
+        "--users", type=int, default=10_000,
+        help="distinct-user population keys are drawn from (default: 10000)",
+    )
+    sp.add_argument(
+        "--pattern", choices=("steady", "diurnal", "flash-crowd"),
+        default="steady", help="arrival curve (default: steady)",
+    )
+    sp.add_argument(
+        "--mode", choices=("open", "closed"), default="open",
+        help="open loop (timed arrivals) or closed loop (fixed "
+             "outstanding-op window; default: open)",
+    )
+    sp.add_argument(
+        "--rate", type=float, default=200.0,
+        help="mean arrival rate in ops per logical second (open loop; "
+             "default: 200)",
+    )
+    sp.add_argument(
+        "--concurrency", type=int, default=8,
+        help="outstanding-op window (closed loop; default: 8)",
+    )
+    sp.add_argument(
+        "--duration", type=float, default=10.0,
+        help="logical seconds of traffic (default: 10)",
+    )
+    sp.add_argument(
+        "--max-ops", type=int, default=2000,
+        help="hard cap on generated operations (default: 2000)",
+    )
+    sp.add_argument(
+        "--value-size", type=int, default=64,
+        help="payload bytes per write (default: 64)",
+    )
+    sp.add_argument(
+        "--read-fraction", type=float, default=0.3,
+        help="fraction of ops that are reads (default: 0.3)",
+    )
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(fn=cmd_workload)
 
     sp = sub.add_parser(
         "cluster",

@@ -7,6 +7,7 @@ implementations — the paper developed its ``Redis(C)`` control "without
 knowledge of the DSL, as a control experiment".
 """
 
+from .broker import DirectShardedBroker
 from .caching import DirectCachedRedis
 from .checkpointing import DirectCheckpointManager
 from .elastic import DirectElasticWorkers
@@ -24,6 +25,7 @@ __all__ = [
     "DirectFailoverRedis",
     "DirectMigratableRedis",
     "DirectRemoteAuditor",
+    "DirectShardedBroker",
     "DirectShardedRedis",
     "Endpoint",
     "Envelope",

@@ -1,0 +1,63 @@
+"""The workload description: one frozen dataclass, fully seeded.
+
+A :class:`WorkloadSpec` is a *pure value*: everything the generators
+produce is a deterministic function of it.  That is what makes the
+suite usable as a regression stressor — two runs of the same spec are
+byte-identical at the schedule level, and identical end to end on the
+sim engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+PATTERNS = ("steady", "diurnal", "flash-crowd")
+MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded workload.
+
+    ``users`` is the *population* keys are drawn from (zipf-skewed), not
+    an op count: a million-user spec still materializes at most
+    ``max_ops`` operations, it just draws their keys from a
+    million-rank zipf.  ``rate`` is the pattern's *mean* arrival rate
+    (ops per logical second) for the open loop; ``concurrency`` is the
+    outstanding-ops window for the closed loop.
+    """
+
+    seed: int = 0
+    users: int = 10_000
+    pattern: str = "steady"
+    mode: str = "open"
+    rate: float = 200.0
+    concurrency: int = 8
+    duration: float = 10.0
+    max_ops: int = 2000
+    zipf_s: float = 1.1
+    value_size: int = 64
+    read_fraction: float = 0.3
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"pattern must be one of {PATTERNS}, got {self.pattern!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.users <= 0:
+            raise ValueError(f"users must be positive, got {self.users}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.concurrency <= 0:
+            raise ValueError(f"concurrency must be positive, got {self.concurrency}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.max_ops <= 0:
+            raise ValueError(f"max_ops must be positive, got {self.max_ops}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0, 1], got {self.read_fraction}")
+        if self.zipf_s <= 0:
+            raise ValueError(f"zipf_s must be positive, got {self.zipf_s}")
+
+    def as_dict(self) -> dict:
+        return asdict(self)

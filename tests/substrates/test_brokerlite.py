@@ -1,0 +1,176 @@
+"""brokerlite substrate: partition log, consumer groups, server."""
+
+import pytest
+
+from repro.brokerlite import (
+    BrokerRequest,
+    BrokerServer,
+    GroupCoordinator,
+    PartitionLog,
+    Record,
+    partition_for,
+)
+
+
+class TestPartitionLog:
+    def test_append_assigns_dense_offsets(self):
+        log = PartitionLog(0)
+        assert [log.append(f"k{i}", b"v") for i in range(5)] == [0, 1, 2, 3, 4]
+        assert log.next_offset == 5
+
+    def test_read_range(self):
+        log = PartitionLog(0)
+        for i in range(10):
+            log.append(f"k{i}", str(i).encode())
+        got = log.read(3, max_records=4)
+        assert [r.offset for r in got] == [3, 4, 5, 6]
+        assert got[0].key == "k3"
+
+    def test_read_past_end_is_empty(self):
+        log = PartitionLog(0)
+        log.append("k", b"v")
+        assert log.read(5) == []
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionLog(0).read(-1)
+
+    def test_snapshot_restore_round_trip(self):
+        log = PartitionLog(2)
+        for i in range(4):
+            log.append(f"k{i}", b"v%d" % i, ts=0.5 * i)
+        clone = PartitionLog(2)
+        clone.restore(log.snapshot())
+        assert clone.records == log.records
+        assert clone.next_offset == log.next_offset
+
+    def test_record_wire_round_trip(self):
+        rec = Record(offset=3, key="k", value=b"v", ts=1.5)
+        assert Record.from_list(rec.as_list()) == rec
+
+    def test_partition_for_is_stable_and_in_range(self):
+        for key in ("a", "user123", "x" * 100):
+            p = partition_for(key, 7)
+            assert 0 <= p < 7
+            assert partition_for(key, 7) == p
+        with pytest.raises(ValueError):
+            partition_for("k", 0)
+
+
+class TestGroupCoordinator:
+    def test_join_assigns_all_partitions(self):
+        g = GroupCoordinator("g", 6)
+        g.join("a")
+        assert g.partitions_of("a") == [0, 1, 2, 3, 4, 5]
+
+    def test_rebalance_on_membership_change(self):
+        g = GroupCoordinator("g", 6)
+        g.join("a")
+        gen1 = g.generation
+        g.join("b")
+        assert g.generation > gen1
+        assert sorted(g.partitions_of("a") + g.partitions_of("b")) == list(range(6))
+        assert g.partitions_of("a") == [0, 1, 2]
+
+    def test_uneven_split_first_members_get_extra(self):
+        g = GroupCoordinator("g", 7)
+        g.join("b")
+        g.join("a")
+        g.join("c")
+        assert len(g.partitions_of("a")) == 3
+        assert len(g.partitions_of("b")) == 2
+        assert len(g.partitions_of("c")) == 2
+
+    def test_leave_reassigns(self):
+        g = GroupCoordinator("g", 4)
+        g.join("a")
+        g.join("b")
+        g.leave("a")
+        assert g.partitions_of("b") == [0, 1, 2, 3]
+        assert g.partitions_of("a") == []
+
+    def test_join_idempotent(self):
+        g = GroupCoordinator("g", 4)
+        g.join("a")
+        gen = g.generation
+        g.join("a")
+        assert g.generation == gen
+
+    def test_owner_of(self):
+        g = GroupCoordinator("g", 4)
+        g.join("a")
+        g.join("b")
+        assert g.owner_of(0) == "a"
+        assert g.owner_of(3) == "b"
+
+    def test_resize_rebalances(self):
+        g = GroupCoordinator("g", 4)
+        g.join("a")
+        g.join("b")
+        g.resize(8)
+        assert sorted(g.partitions_of("a") + g.partitions_of("b")) == list(range(8))
+
+    def test_assignment_deterministic_in_membership(self):
+        g1 = GroupCoordinator("g", 5)
+        g2 = GroupCoordinator("g", 5)
+        for m in ("x", "y", "z"):
+            g1.join(m)
+        for m in ("z", "x", "y"):
+            g2.join(m)
+        assert g1.assignment == g2.assignment
+
+
+class TestBrokerServer:
+    def test_pub_fetch_round_trip(self):
+        s = BrokerServer()
+        r, cost = s.execute(BrokerRequest(op="PUB", partition=1, key="k", value=b"v"))
+        assert r.ok and r.offset == 0 and cost > 0
+        r, _ = s.execute(BrokerRequest(op="FETCH", partition=1, offset=0))
+        assert r.records == [[0, "k", b"v", 0.0]]
+        assert r.high_water == 1
+
+    def test_commit_is_monotone(self):
+        s = BrokerServer()
+        s.execute(BrokerRequest(op="COMMIT", partition=0, group="g", offset=5))
+        r, _ = s.execute(BrokerRequest(op="COMMIT", partition=0, group="g", offset=3))
+        assert r.offset == 5
+        r, _ = s.execute(BrokerRequest(op="OFFSET", partition=0, group="g"))
+        assert r.offset == 5
+
+    def test_offset_defaults_to_zero(self):
+        r, _ = BrokerServer().execute(BrokerRequest(op="OFFSET", partition=0, group="g"))
+        assert r.ok and r.offset == 0
+
+    def test_unknown_op_not_ok(self):
+        r, _ = BrokerServer().execute(BrokerRequest(op="NOPE", partition=0))
+        assert not r.ok
+
+    def test_fetch_cost_scales_with_records(self):
+        s = BrokerServer()
+        for i in range(10):
+            s.execute(BrokerRequest(op="PUB", partition=0, key="k", value=b"x" * 100))
+        _, c1 = s.execute(BrokerRequest(op="FETCH", partition=0, offset=0, max_records=1))
+        _, c10 = s.execute(BrokerRequest(op="FETCH", partition=0, offset=0, max_records=10))
+        assert c10 > c1
+
+    def test_snapshot_restore_round_trip(self):
+        s = BrokerServer()
+        s.execute(BrokerRequest(op="PUB", partition=2, key="k", value=b"v"))
+        s.execute(BrokerRequest(op="COMMIT", partition=2, group="g", offset=1))
+        clone = BrokerServer()
+        clone.restore(s.snapshot())
+        assert clone.records_stored() == 1
+        assert clone.commits == {("g", 2): 1}
+
+    def test_drain_records_preserves_order_and_empties(self):
+        s = BrokerServer()
+        for p in (1, 0):
+            for i in range(3):
+                s.execute(BrokerRequest(op="PUB", partition=p, key=f"k{p}", value=b"%d" % i))
+        records, cost = s.drain_records()
+        assert [(r.key, r.value) for r in records] == [
+            ("k0", b"0"), ("k0", b"1"), ("k0", b"2"),
+            ("k1", b"0"), ("k1", b"1"), ("k1", b"2"),
+        ]
+        assert cost > 0
+        assert s.records_stored() == 0

@@ -1,0 +1,86 @@
+"""The workload driver: adapters, open/closed loops, reports."""
+
+import pytest
+
+from repro.workload import ADAPTERS, WorkloadSpec, materialize, run_workload
+
+SMALL = WorkloadSpec(seed=5, users=400, rate=25.0, duration=3.0, max_ops=50)
+
+
+def test_unknown_arch_rejected():
+    with pytest.raises(KeyError, match="no workload adapter"):
+        run_workload(SMALL, "nope", "sim")
+
+
+def test_bad_spec_rejected():
+    with pytest.raises(ValueError, match="pattern"):
+        WorkloadSpec(pattern="bursty")
+    with pytest.raises(ValueError, match="users"):
+        WorkloadSpec(users=0)
+    with pytest.raises(ValueError, match="read_fraction"):
+        WorkloadSpec(read_fraction=1.5)
+
+
+@pytest.mark.parametrize("arch", sorted(ADAPTERS))
+def test_adapter_completes_everything_on_sim(arch):
+    report = run_workload(SMALL, arch, "sim")
+    assert report.ops_submitted == len(materialize(SMALL))
+    assert report.ops_completed == report.ops_submitted
+    assert report.ops_failed == 0
+    assert report.ops_dropped == 0
+    assert report.ops_per_sec > 0
+    assert 0 < report.p50_ms <= report.p99_ms
+
+
+def test_sim_run_is_deterministic_end_to_end():
+    a = run_workload(SMALL, "broker_sharded", "sim")
+    b = run_workload(SMALL, "broker_sharded", "sim")
+    assert a.schedule_digest == b.schedule_digest
+    assert a.completion_digest == b.completion_digest
+    assert a.telemetry_digest == b.telemetry_digest
+    assert a.digest == b.digest
+
+
+def test_closed_loop_respects_window_and_finishes():
+    spec = WorkloadSpec(seed=5, users=100, mode="closed", concurrency=4,
+                        duration=5.0, max_ops=30)
+    report = run_workload(spec, "broker_sharded", "sim")
+    assert report.ops_completed == 30
+    assert report.ops_dropped == 0
+
+
+def test_patterns_change_the_schedule_not_the_count_cap():
+    base = dict(seed=9, users=500, rate=100.0, duration=4.0, max_ops=500)
+    digests = {
+        p: run_workload(WorkloadSpec(pattern=p, **base), "broker_sharded", "sim").schedule_digest
+        for p in ("steady", "diurnal", "flash-crowd")
+    }
+    assert len(set(digests.values())) == 3
+
+
+def test_flash_crowd_spikes_mid_run():
+    spec = WorkloadSpec(seed=1, users=100, pattern="flash-crowd",
+                        rate=100.0, duration=10.0, max_ops=2000)
+    events = materialize(spec)
+    in_spike = sum(1 for ev in events if 4.0 <= ev.t < 5.0)
+    outside = len(events) - in_spike
+    # the spike window is 10% of the duration but ~55% of the mass
+    assert in_spike > outside
+
+
+def test_zipf_skew_concentrates_on_hot_users():
+    spec = WorkloadSpec(seed=3, users=100_000, rate=200.0, duration=10.0,
+                        max_ops=2000, zipf_s=1.3)
+    events = materialize(spec)
+    hot = sum(1 for ev in events if ev.user < 10)
+    assert hot > len(events) * 0.2
+
+
+def test_report_as_dict_is_json_shaped():
+    import json
+
+    report = run_workload(SMALL, "sharding", "sim")
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["arch"] == "sharding"
+    assert payload["spec"]["seed"] == 5
+    assert payload["digest"] == report.digest
