@@ -17,8 +17,10 @@ taken from the simulator's global sequence counter and asserted
 equal across modes (same semantics, different evaluator).
 
 Walls are best-of-``ROUNDS`` with the modes interleaved inside each
-round, which cancels most machine noise; the target ratio is >= 5x
-on both architectures.
+round, which cancels most machine noise; the target ratio is >= 8x
+on both architectures (raised from 5x with the slot-addressed state
+layer: slot-direct loads, inlined case-arm conditions, and the
+scheduling fast paths cut the compiled storm wall by ~40%).
 """
 
 import statistics
@@ -36,7 +38,7 @@ DRAIN_EVERY = 512
 #: best-of rounds, modes interleaved within each round
 ROUNDS = 3
 #: acceptance floor on events/sec ratio, compiled over interpreted
-TARGET_RATIO = 5.0
+TARGET_RATIO = 8.0
 
 ARCHES = (
     ("failover", lambda: FailoverRedis(seed=0)),

@@ -4,7 +4,7 @@ At instance-bind time (:meth:`System._start_instance`) each junction's
 specialized body is lowered to one flat generator function::
 
     def _body(ex, C):
-        _t.set_local('Req', False)
+        _t.set_slot(0, 'Req', False)
         ...
         yield Blocked('ack', msg_id=_mid)
 
@@ -49,7 +49,7 @@ from ..core.errors import (
     VerifyFailure,
     VerifyUnknown,
 )
-from .formulas import formula_function, is_pure
+from .formulas import _FormulaEmitter, formula_function, is_pure
 
 
 class Unsupported(Exception):
@@ -91,7 +91,8 @@ class JunctionCode:
         self.source = source
         #: generator function ``body_fn(ex, C)`` — one call per attempt
         self.body_fn = body_fn
-        #: ``guard_fn(values) -> True|False|UNKNOWN`` or None (impure guard)
+        #: ``guard_fn(slots) -> True|False|UNKNOWN`` or None (impure
+        #: guard); takes the owning table's flat slot list
         self.guard_fn = guard_fn
         self.consts = consts
         #: bodies without parallel strands / transactions may run
@@ -129,19 +130,49 @@ class BodyCompiler:
         return f"C[{len(self.consts) - 1}]"
 
     def _pred(self, f: Formula) -> str | None:
-        """Module-level Kleene function for a pure formula, else None."""
+        """Module-level Kleene function for a pure formula, else None.
+
+        Compiled against the junction's slot layout: ``_V`` in the
+        generated module is the table's flat ``slots`` list and the
+        predicate loads slot-direct (the write-path specialization)."""
         if not is_pure(f, self.jr.idx_names):
             return None
         name = f"_f{self._fn_n}"
         self._fn_n += 1
-        self.module_fns.append(formula_function(name, f))
+        self.module_fns.append(formula_function(name, f, self.jr.table.layout))
         return name
+
+    def _slot_of(self, key: str) -> int | None:
+        """Bind-time slot of ``key`` (declarations fixed the layout
+        before codegen runs), or None if the junction does not declare
+        it."""
+        return self.jr.table.layout.slot_of(key)
 
     def _formula_cond(self, f: Formula) -> str:
         pred = self._pred(f)
         if pred is not None:
             return f"{pred}(_V) is True"
         return f"ex._formula_true({self._const(f)})"
+
+    def _formula_cond_inline(self, f: Formula, tag: str):
+        """Inline a pure formula at its use site: ``(lines, expr)``
+        where ``lines`` (at function base indent) compute the Kleene
+        value into a ``tag``-prefixed temp and ``expr`` tests it.
+
+        Case-arm conditions use this instead of :meth:`_formula_cond`:
+        a scheduling evaluates every arm condition on the miss path
+        (the common storm case — no arm matches, fall to otherwise),
+        so per-arm predicate-function calls are pure call overhead.
+        Returns None for impure formulas, which must stay lazy calls —
+        they walk runtime context and would be wasted work when an
+        earlier arm matches."""
+        if not is_pure(f, self.jr.idx_names):
+            return None
+        em = _FormulaEmitter(self.jr.table.layout, tmp_prefix=f"_c{tag}_")
+        kind, val = em.emit(f)
+        if kind == "const":
+            return ([], "True" if val else "False")
+        return (em.lines, f"{val} is True")
 
     def _fold_number(self, arg) -> str:
         """Compile-time fold of an Arg (mirrors ``eval_arg_number`` with
@@ -335,7 +366,11 @@ class BodyCompiler:
     def _emit_write(self, e: A.Write, out, ind) -> None:
         p = "    " * ind
         val = self._tmp()
-        out.append(f"{p}{val} = _t.get({e.name!r})")
+        slot = self._slot_of(e.name)
+        if slot is not None:
+            out.append(f"{p}{val} = _V[{slot}]  # {e.name!r}")
+        else:
+            out.append(f"{p}{val} = _t.get({e.name!r})")
         out.append(f"{p}if {val} is UNDEF:")
         out.append(f"{p}    raise UndefError({f'{self.node}: write({e.name}) of undef'!r})")
         tgt = self._target_expr(e.target, out, ind)
@@ -344,9 +379,14 @@ class BodyCompiler:
     def _emit_assert(self, e, value: bool, out, ind) -> None:
         p = "    " * ind
         idx = e.index
+        slot = None
         if isinstance(idx, A.Ref) and idx.is_simple and idx.name in self.jr.idx_names:
             iv, key = self._tmp(), self._tmp()
-            out.append(f"{p}{iv} = _t.get({idx.name!r})")
+            islot = self._slot_of(idx.name)
+            if islot is not None:
+                out.append(f"{p}{iv} = _V[{islot}]  # {idx.name!r}")
+            else:
+                out.append(f"{p}{iv} = _t.get({idx.name!r})")
             out.append(f"{p}if {iv} is UNDEF:")
             out.append(
                 f"{p}    raise UndefError({f'{self.node}: index {idx.name!r} is undef'!r})"
@@ -355,15 +395,25 @@ class BodyCompiler:
             key_expr = key
         else:
             key_expr = repr(e.key())
+            slot = self._slot_of(e.key())
         if isinstance(e.target, A.SelfTarget):
-            out.append(f"{p}_t.set_local({key_expr}, {value!r})")
+            if slot is not None:
+                out.append(f"{p}_t.set_slot({slot}, {key_expr}, {value!r})")
+            else:
+                out.append(f"{p}_t.set_local({key_expr}, {value!r})")
             return
         tgt = self._target_expr(e.target, out, ind)
         sb = self._tmp()
         out.append(f"{p}{sb} = _t.recv_seq_of({key_expr})")
         self._emit_remote_update(tgt, key_expr, repr(value), out, ind)
-        out.append(f"{p}if {key_expr} in _V and _t.recv_seq_of({key_expr}) == {sb}:")
-        out.append(f"{p}    _t.set_local({key_expr}, {value!r})")
+        if slot is not None:
+            # declared at bind time — the membership test is statically
+            # true (slots never disappear), only the late-ack check runs
+            out.append(f"{p}if _t.recv_seq_of({key_expr}) == {sb}:")
+            out.append(f"{p}    _t.set_slot({slot}, {key_expr}, {value!r})")
+        else:
+            out.append(f"{p}if _t.has({key_expr}) and _t.recv_seq_of({key_expr}) == {sb}:")
+            out.append(f"{p}    _t.set_local({key_expr}, {value!r})")
 
     # -- wait / verify ------------------------------------------------------
 
@@ -467,18 +517,30 @@ class BodyCompiler:
         n = self._tmp_n = self._tmp_n + 1
         low, pm, ps, m, snap = f"_l{n}", f"_pm{n}", f"_ps{n}", f"_m{n}", f"_sn{n}"
         conds = []
-        for arm in e.arms:
+        pre_lines: list[str] = []
+        for i, arm in enumerate(e.arms):
             if not isinstance(arm, A.CaseArm):
                 raise Unsupported(type(arm).__name__)
             if arm.terminator not in ("break", "next", "reconsider"):
                 raise Unsupported(f"case terminator {arm.terminator!r}")
-            conds.append(self._formula_cond(arm.formula))
+            inlined = self._formula_cond_inline(arm.formula, f"{n}a{i}")
+            if inlined is None:
+                conds.append(f"ex._formula_true({self._const(arm.formula)})")
+            else:
+                lines, expr = inlined
+                pre_lines.extend(lines)
+                conds.append(expr)
         out.append(f"{p}{low} = 0")
         out.append(f"{p}{pm} = None")
         out.append(f"{p}{ps} = None")
         out.append(f"{p}while True:")
         q = p + "    "
         out.append(f"{q}{m} = None")
+        # pure arm conditions, inlined and evaluated eagerly once per
+        # match round: side-effect free, and the common miss path (no
+        # arm matches) reads every one of them anyway
+        for line in pre_lines:
+            out.append(q + line[4:])
         for i, cond in enumerate(conds):
             kw = "if" if i == 0 else "elif"
             guard = f"{low} <= {i} and " if i > 0 else f"{low} <= 0 and "
@@ -530,7 +592,8 @@ class BodyCompiler:
             "    _sys = ex.system",
             "    _jr = ex.jr",
             "    _t = ex.table",
-            "    _V = _t.values",
+            "    _V = _t.slots",
+            "    _U = UNKNOWN",
             "    _tel = _sys.telemetry",
             "    _INLINE = _sys.engine.executor.inline",
         ]
@@ -563,7 +626,9 @@ class BodyCompiler:
         guard_name = None
         if is_pure(guard, self.jr.idx_names):
             guard_name = "_guard"
-            self.module_fns.append(formula_function(guard_name, guard))
+            self.module_fns.append(
+                formula_function(guard_name, guard, self.jr.table.layout)
+            )
         self._emit_gen_function("_body", self.jr.body, root=True)
         header = (
             '"""Auto-generated by repro.compile.codegen -- do not edit.\n'

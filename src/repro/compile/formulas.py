@@ -45,15 +45,49 @@ def is_pure(f: Formula, idx_names: frozenset[str] | set[str]) -> bool:
     return False  # At / Live / anything unknown
 
 
-class _FormulaEmitter:
-    """Emits SSA-style three-valued evaluation statements."""
+def guard_keys(f: Formula) -> frozenset[str]:
+    """The set of table keys a *pure* formula reads (its footprint).
 
-    def __init__(self) -> None:
+    Only meaningful for formulas :func:`is_pure` accepts — impure
+    formulas read state this walk cannot see (remote tables, liveness,
+    idx cursors)."""
+    out: set[str] = set()
+
+    def walk(g: Formula) -> None:
+        if isinstance(g, Prop):
+            out.add(g.key())
+        elif isinstance(g, Not):
+            walk(g.operand)
+        elif isinstance(g, (And, Or, Implies)):
+            walk(g.left)
+            walk(g.right)
+
+    walk(f)
+    return frozenset(out)
+
+
+class _FormulaEmitter:
+    """Emits SSA-style three-valued evaluation statements.
+
+    Two addressing modes: without a layout, propositions load by name
+    from a mapping (``_V.get('Req')`` — the public, layout-free form);
+    with a :class:`~repro.runtime.kvtable.SlotLayout`, propositions
+    the layout covers load slot-direct from the flat value list
+    (``_V[3]``), which is the write-path specialization the junction
+    compiler uses — ``_V`` is then the table's ``slots`` list."""
+
+    def __init__(self, layout=None, tmp_prefix: str = "_v") -> None:
         self.lines: list[str] = []
         self._n = 0
+        self._layout = layout
+        #: temp-name prefix — the default suits a standalone function;
+        #: inline emission into a larger scope (the junction compiler
+        #: inlines case-arm conditions into the body) passes a
+        #: site-unique prefix to keep temps from colliding
+        self._tmp_prefix = tmp_prefix
 
     def _tmp(self) -> str:
-        name = f"_v{self._n}"
+        name = f"{self._tmp_prefix}{self._n}"
         self._n += 1
         return name
 
@@ -63,7 +97,17 @@ class _FormulaEmitter:
             return ("const", False)
         if isinstance(f, Prop):
             v = self._tmp()
-            self.lines.append(f"    {v} = _V.get({f.key()!r})")
+            key = f.key()
+            if self._layout is None:
+                self.lines.append(f"    {v} = _V.get({key!r})")
+            else:
+                i = self._layout.slot_of(key)
+                if i is None:
+                    # undeclared at bind time: a validated junction
+                    # never declares it later, so it reads UNKNOWN
+                    self.lines.append(f"    {v} = _U  # {key!r}: undeclared")
+                    return ("var", v)
+                self.lines.append(f"    {v} = _V[{i}]  # {key!r}")
             self.lines.append(f"    if {v} is not True and {v} is not False:")
             self.lines.append(f"        {v} = _U")
             return ("var", v)
@@ -118,10 +162,13 @@ class _FormulaEmitter:
         raise ValueError(f"cannot compile formula node {type(f).__name__}")
 
 
-def formula_function(name: str, f: Formula) -> str:
+def formula_function(name: str, f: Formula, layout=None) -> str:
     """Source of ``def name(_V, _U=UNKNOWN)`` computing ``f``'s
-    three-valued truth over the value map ``_V``."""
-    em = _FormulaEmitter()
+    three-valued truth.  Without ``layout``, ``_V`` is a by-name value
+    mapping; with a junction's :class:`SlotLayout`, ``_V`` is the
+    table's flat ``slots`` list and propositions compile to
+    slot-direct loads."""
+    em = _FormulaEmitter(layout)
     kind, val = em.emit(f)
     body = em.lines or []
     ret = repr(val) if kind == "const" else val

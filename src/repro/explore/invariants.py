@@ -97,10 +97,10 @@ def _convergence(system, obs) -> list[str]:
         if not inst.alive:
             continue  # a crashed instance's state is gone, not diverged
         for jr in inst.junctions.values():
-            if jr.table.pending:
+            if jr.table.has_pending:
                 keys = sorted({u.key for u in jr.table.pending})
                 out.append(
-                    f"{jr.node}: {len(jr.table.pending)} pending update(s) "
+                    f"{jr.node}: {jr.table.pending_count} pending update(s) "
                     f"to {keys} never applied"
                 )
     # _Pending.attempts counts send attempts and starts at 1; a value

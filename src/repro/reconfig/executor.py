@@ -138,7 +138,7 @@ def _main_start_args(
 def _quiescent(system: "System", jr) -> bool:
     if jr.node in system._executions:
         return False
-    return jr.paused or not jr.table.pending
+    return jr.paused or not jr.table.has_pending
 
 
 def _snapshot_junction(system: "System", jr) -> _JunctionSnapshot:
@@ -146,7 +146,7 @@ def _snapshot_junction(system: "System", jr) -> _JunctionSnapshot:
     codec covers travel through ``Serializer`` (this is the path a
     future cross-host transfer takes — and it counts transfer bytes);
     host-object values (app handles, UNDEF) are carried by reference."""
-    snap = _JunctionSnapshot(pending=list(jr.table.pending))
+    snap = _JunctionSnapshot(pending=jr.table.pending_updates())
     for key, value in jr.table.values.items():
         try:
             saved = system.serializer.encode(None, value)
@@ -375,6 +375,7 @@ def _execute(
         system.program = new
         system._main_env = dict(env)
         system._compile_cache.clear()
+        system._junction_cache.clear()
         for tname in set(new.source.instance_types):
             trt = system.types.get(tname)
             if trt is None:
@@ -419,10 +420,12 @@ def _execute(
                     system._bind_junction(inst, jr, args, config_env)
                     if was_bound and jname in snap:
                         s = snap[jname]
+                        # restore by key *name*: the new program may
+                        # declare the same keys at different slots
                         for key, value in s.values.items():
                             if key in jr.table.values:
                                 jr.table.values[key] = value
-                        jr.table.pending.extend(
+                        jr.table.enqueue_pending(
                             u for u in s.pending if u.key in jr.table.values
                         )
                 tel.emit("reconfig_rebind", name, parent=cut_ev)
@@ -450,6 +453,10 @@ def _execute(
             if name in new_start_args:
                 system._start_instance(inst, new_start_args[name], parent=cut_ev)
 
+        # node-name resolutions made during the cutover must not
+        # outlive it: instances and junction runtimes were replaced
+        system._junction_cache.clear()
+
         # ---- transfer (application-level state movement, e.g. resharding)
         if on_transfer is not None:
             on_transfer(system, removed_apps)
@@ -461,7 +468,7 @@ def _execute(
                 continue
             inst.set_paused(False)
             for jr in inst.junctions.values():
-                report.updates_replayed += len(jr.table.pending)
+                report.updates_replayed += jr.table.pending_count
                 system._attempt_soon(jr)
         tel.emit(
             "reconfig_resume",

@@ -113,6 +113,12 @@ class JunctionRuntime:
         self._m_scheds = None
         self._m_exec_seconds = None
         self._m_unscheds: dict[str, object] = {}
+        #: cached causeless attempt callback (System._attempt_soon)
+        self._attempt_cb = None
+        #: a synchronously-completed JunctionExecution parked for reuse
+        #: by the next scheduling (object-churn relief: storms schedule
+        #: tens of thousands of one-shot executions per junction)
+        self._free_exec = None
 
     def init_state(self) -> None:
         """(Re)initialize the KV table from the specialized decls.
@@ -124,6 +130,8 @@ class JunctionRuntime:
         prev = self.table
         self.table = KVTable(owner=self.node)
         self.table.adopt_dedup(prev)
+        # the parked execution binds the old table; drop it
+        self._free_exec = None
         self.idx_names.clear()
         self.subset_names.clear()
         self.set_values.clear()
@@ -158,6 +166,24 @@ class JunctionRuntime:
                 if d.literal is not None:
                     self.set_values[d.name] = _set_elements(d.literal)
             # Guard handled at bind; ForInit expanded by specialize.
+
+        # Guard-footprint tracking: a *pure* guard's verdict depends
+        # only on the keys it reads, so record them on the table —
+        # writes to any of them set ``guard_dirty`` and the scheduler
+        # skips re-evaluating a clean guard (dirty-driven scheduling).
+        # Impure guards (@ / S() / idx-indexed props) read state the
+        # table cannot observe and stay untracked.  Function-level
+        # import: ``repro.compile`` pulls in codegen, which this
+        # module must not import at load time.
+        from ..compile.formulas import guard_keys, is_pure
+
+        guard = self.guard
+        if guard is None or is_pure(guard, self.idx_names):
+            self.table.set_guard_tracking(
+                guard_keys(guard) if guard is not None else ()
+            )
+        else:
+            self.table.set_guard_tracking(None)
 
     def checkpoint(self) -> dict[str, object]:
         return self.table.snapshot()

@@ -240,22 +240,41 @@ class JunctionExecution:
         self.sched_event: int | None = None
         self._sched_at = 0.0
 
+    def reset(self, parent_event: int | None) -> None:
+        """Re-arm a synchronously-completed execution for its
+        junction's next scheduling (see ``JunctionRuntime._free_exec``).
+        Only executions that finished ok with every per-run container
+        empty are stashed for reuse, so the containers need no reset —
+        just the scalar run state.  The done root strand is kept and
+        re-armed by :meth:`start`.  The table is re-read: a restart
+        replaces the junction's table object."""
+        self.table = self.jr.table
+        self.finished = False
+        self.outcome = None
+        self.failure = None
+        self._current = None
+        self.parent_event = parent_event
+        self.sched_event = None
+        self._sched_at = 0.0
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def start(self) -> None:
         jr = self.jr
-        self.table.executing = True
-        self.table.on_local_write = self._on_local_write
+        system = self.system
+        table = self.table
+        table.executing = True
+        table.on_local_write = self._on_local_write
         jr.status = "running"
         jr.sched_count += 1
-        tel = self.system.telemetry
+        tel = system.telemetry
         m = jr._m_scheds
         if m is None:
             m = jr._m_scheds = tel.counter("junction_scheds", node=jr.node)
-        m.inc()
-        self._sched_at = self.system.clock.now
+        m.value += 1  # Counter.inc, sans the method call
+        self._sched_at = system.clock.now
         self.sched_event = (
             tel.emit("sched", jr.node, parent=self.parent_event)
             if tel.enabled else None
@@ -271,16 +290,57 @@ class JunctionExecution:
         # bodies complete synchronously: handle StopIteration here
         # without the _advance/_finish_strand frames — a fresh root has
         # no window, sleep handle or block to clean up.
-        s = Strand(gen, None)
-        self.root = s
-        self.strands[s.id] = s
+        s = self.root
+        if s is None:
+            s = Strand(gen, None)
+            self.root = s
+        else:
+            # reused execution (see ``reset``): re-arm the done root
+            s.gen = gen
+            s.state = "ready"
         self._current = s
+        # registry insert deferred past the sync-completion path: the
+        # strands dict only matters once the body reaches a yield (or
+        # fails — _finish_execution's cancel sweep tolerates an
+        # unregistered done/failed root)
         try:
             req = gen.send(None)
         except StopIteration:
+            # synchronous ok completion, fully inlined (the
+            # _finish_execution / _emit_unsched / execution_finished
+            # generality is for multi-strand and failure paths): one
+            # strand, nothing to cancel, no failure to record
             self._current = None
             s.state = "done"
-            self._finish_execution(None)
+            self.finished = True
+            self.outcome = "ok"
+            table.executing = False
+            table.on_local_write = None
+            jr.status = "idle"
+            h = jr._m_exec_seconds
+            if h is None:
+                h = jr._m_exec_seconds = tel.histogram(
+                    "junction_execution_seconds", node=jr.node
+                )
+            h.observe(system.clock.now - self._sched_at)
+            c = jr._m_unscheds.get("ok")
+            if c is None:
+                c = jr._m_unscheds["ok"] = tel.counter(
+                    "junction_unscheds", node=jr.node, outcome="ok"
+                )
+            c.value += 1
+            if tel.enabled:
+                tel.emit(
+                    "unsched", jr.node, parent=self.sched_event,
+                    outcome="ok", failure=None,
+                )
+            system._executions.pop(jr.node, None)
+            # stash for reuse by the junction's next scheduling (only
+            # when every per-run container is provably untouched)
+            if not self.strands and not self.active_txs and jr._free_exec is None:
+                jr._free_exec = self
+            if table._pending_n:
+                system._attempt_soon(jr)
             return
         except (DslFailure, ControlSignal) as exc:
             self._current = None
@@ -297,6 +357,7 @@ class JunctionExecution:
             self._finish_execution(wrapped)
             return
         self._current = None
+        self.strands[s.id] = s
         self._handle_request(s, req)
         if self.ready and not self.finished:
             self._pump()
@@ -581,7 +642,7 @@ class JunctionExecution:
     # ------------------------------------------------------------------
 
     def _prop_env(self, key: str):
-        v = self.table.values.get(key, None)
+        v = self.table.prop_value(key)
         if isinstance(v, bool):
             return v
         return UNKNOWN
@@ -629,7 +690,9 @@ class JunctionExecution:
         the reference tree-walk."""
         pred = req.pred
         if pred is not None:
-            return pred(self.table.values) is True
+            # compiled predicates are slot-compiled: they read the flat
+            # slot list, not the by-name view
+            return pred(self.table.slots) is True
         return self._formula_true(req.formula)
 
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Per-junction distributed key-value tables.
+"""Per-junction distributed key-value tables, slot-addressed.
 
 Each junction owns a KV table storing its propositions (booleans) and
 named data (opaque serialized payloads).  Junctions *push* updates to
@@ -16,14 +16,41 @@ Semantics implemented here (paper sec. 6 "Junction state" and sec. 8
 * A **local** update to a key discards pending remote updates to that
   key — local updates have priority.
 * ``keep`` discards pending updates for the given keys; idempotent.
-* Transactions snapshot the value map and roll it back on failure.
+* Transactions log undone writes and roll them back on failure.
+
+Representation (the slot-addressed state layer):
+
+* A :class:`SlotLayout` maps each declared key to a stable integer
+  slot; the layout is fixed when the ``System`` binds the junction's
+  declarations and only grows (slots are never reused).
+* Values live in a flat ``slots`` list indexed by slot.  The list is
+  mutated in place and **never rebound**, so compiled guards and
+  bodies may close over it.  ``table.values`` is a dict-like
+  :class:`SlotValues` view over the same storage for generic callers.
+* Pending remote updates are bucketed per key, each tagged with a
+  global arrival sequence number, so local-priority discard,
+  ``keep``, ``effective`` and ``apply_pending_for`` are O(keys
+  touched) instead of O(total pending).
+* Transactions push undo-log frames of ``(slot, old_value)`` pairs:
+  ``tx_begin`` is O(1), rollback is O(writes made), and the value
+  storage keeps its identity across rollback.
+* The table tracks which keys its junction's *guard* reads
+  (:meth:`set_guard_tracking`); any write to one of those keys sets
+  ``guard_dirty``, which lets the scheduler skip re-evaluating a pure
+  guard whose inputs did not change since the last attempt.
+
+Slots are junction-local: the same key can live at different slots in
+different junctions (or in the same junction across a live
+reconfiguration that changes its declarations), so everything that
+crosses junctions — update messages, commute footprints, reconfig
+snapshots — stays keyed by *name* and is translated through the
+layout at the boundary.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, NamedTuple
 
 
 class _Undef:
@@ -43,14 +70,122 @@ class _Undef:
 
 UNDEF = _Undef()
 
+#: undo-log marker: the slot did not exist when the frame was opened
+_TX_UNDECLARED = object()
 
-@dataclass(frozen=True)
-class Update:
-    """A queued remote update."""
+
+class Update(NamedTuple):
+    """A queued remote update.
+
+    A named tuple rather than a (frozen) dataclass: one is allocated
+    per remote/external update, and tuple construction skips the
+    per-field ``object.__setattr__`` a frozen dataclass pays."""
 
     key: str
     value: object
     src: str  # sending junction node name (for diagnostics)
+
+
+class SlotLayout:
+    """The key→slot index of one junction's table.
+
+    Fixed when the junction's declarations are bound; grows (but never
+    shrinks or reorders) if a write introduces a key that was not
+    declared — e.g. a remote update applied through a wait window."""
+
+    __slots__ = ("index", "keys")
+
+    def __init__(self) -> None:
+        self.index: dict[str, int] = {}
+        self.keys: list[str] = []
+
+    def add(self, key: str) -> int:
+        """Slot of ``key``, allocating the next slot if new."""
+        i = self.index.get(key)
+        if i is None:
+            i = len(self.keys)
+            self.index[key] = i
+            self.keys.append(key)
+        return i
+
+    def slot_of(self, key: str) -> int | None:
+        return self.index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.index
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class SlotValues:
+    """Dict-like view over a table's flat slot storage.
+
+    Exists so generic callers (checkpointing, reconfig restore, tests,
+    the interpreter's by-name paths) keep the mapping API while the
+    authoritative storage is the flat ``slots`` list.  The view object
+    is created once per table and its identity never changes — aliases
+    captured by compiled code stay valid across transactions."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "KVTable"):
+        self._table = table
+
+    def get(self, key: str, default: object = None) -> object:
+        t = self._table
+        i = t.layout.index.get(key)
+        return default if i is None else t.slots[i]
+
+    def __getitem__(self, key: str) -> object:
+        t = self._table
+        i = t.layout.index.get(key)
+        if i is None:
+            raise KeyError(key)
+        return t.slots[i]
+
+    def __setitem__(self, key: str, value: object) -> None:
+        self._table._store_named(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._table.layout.index
+
+    def __iter__(self):
+        return iter(self._table.layout.keys)
+
+    def __len__(self) -> int:
+        return len(self._table.layout.keys)
+
+    def keys(self) -> list[str]:
+        return list(self._table.layout.keys)
+
+    def items(self) -> list[tuple[str, object]]:
+        t = self._table
+        slots = t.slots
+        return [(k, slots[i]) for k, i in t.layout.index.items()]
+
+    def values(self) -> list[object]:
+        return list(self._table.slots)
+
+    def update(self, other=(), **kw) -> None:
+        items = other.items() if hasattr(other, "items") else other
+        for k, v in items:
+            self._table._store_named(k, v)
+        for k, v in kw.items():
+            self._table._store_named(k, v)
+
+    def copy(self) -> dict[str, object]:
+        return dict(self.items())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SlotValues):
+            return self.copy() == other.copy()
+        if isinstance(other, dict):
+            return self.copy() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"SlotValues({self.copy()!r})"
 
 
 class WaitWindow:
@@ -78,8 +213,19 @@ class KVTable:
 
     def __init__(self, owner: str = "?"):
         self.owner = owner
-        self.values: dict[str, object] = {}
-        self.pending: list[Update] = []
+        #: key → slot index, fixed per bound junction
+        self.layout = SlotLayout()
+        #: flat value storage, indexed by slot; mutated in place, never
+        #: rebound — compiled code may alias it
+        self.slots: list[object] = []
+        #: stable dict-like view over ``slots`` (by-name access)
+        self.values = SlotValues(self)
+        #: pending remote updates bucketed per key, each entry a
+        #: ``(arrival_seq, Update)`` pair; the per-key bucket makes
+        #: local-priority discard / keep / effective O(1) per key
+        self._pending: dict[str, list[tuple[int, Update]]] = {}
+        self._pending_seq = 0
+        self._pending_n = 0
         self.windows: list[WaitWindow] = []
         self.executing = False
         self._seen_msg_ids: set[int] = set()
@@ -95,7 +241,14 @@ class KVTable:
         #: called with (key, old_value) just before a local write is
         #: applied — the interpreter's transaction undo logging
         self.on_local_write: Callable[[str, object], None] | None = None
-        self._tx_stack: list[dict[str, object]] = []
+        #: undo-log frames: lists of (slot, old_value) in write order
+        self._tx_stack: list[list[tuple[int, object]]] = []
+        #: keys the owning junction's guard reads; writes to them set
+        #: ``guard_dirty`` so the scheduler can skip clean re-evaluation
+        self._guard_keys: frozenset[str] = frozenset()
+        self.guard_tracked = False
+        self.guard_dirty = True
+        self.guard_cached: bool | None = None
         # cached metric handles; None until attach_telemetry so a bare
         # KVTable (unit tests) pays nothing
         self._ctr_received = None
@@ -115,17 +268,34 @@ class KVTable:
     # -- declaration-time ---------------------------------------------------
 
     def declare(self, key: str, value: object) -> None:
-        self.values[key] = value
+        self._store_named(key, value)
 
     def has(self, key: str) -> bool:
-        return key in self.values
+        return key in self.layout.index
+
+    # -- guard footprint tracking -------------------------------------------
+
+    def set_guard_tracking(self, keys: Iterable[str] | None) -> None:
+        """Install (or clear, with ``None``) the set of keys the owning
+        junction's pure guard reads.  While tracked and clean, the
+        scheduler may reuse the last guard verdict instead of
+        re-evaluating the formula."""
+        if keys is None:
+            self._guard_keys = frozenset()
+            self.guard_tracked = False
+        else:
+            self._guard_keys = frozenset(keys)
+            self.guard_tracked = True
+        self.guard_dirty = True
+        self.guard_cached = None
 
     # -- reads ------------------------------------------------------------
 
     def get(self, key: str) -> object:
-        if key not in self.values:
+        i = self.layout.index.get(key)
+        if i is None:
             raise KeyError(f"{self.owner}: no junction state {key!r}")
-        return self.values[key]
+        return self.slots[i]
 
     def get_prop(self, key: str) -> bool:
         v = self.get(key)
@@ -133,18 +303,91 @@ class KVTable:
             raise TypeError(f"{self.owner}: {key!r} is not a proposition")
         return v
 
+    def prop_value(self, key: str) -> object:
+        """Value of ``key`` or ``None`` if undeclared (formula-eval
+        read: absent keys evaluate to UNKNOWN upstream)."""
+        i = self.layout.index.get(key)
+        return None if i is None else self.slots[i]
+
     def effective(self, key: str) -> object:
         """Value of ``key`` with the pending overlay applied (used by
         guard evaluation at scheduling attempts)."""
-        v = self.values.get(key, UNDEF)
-        for u in self.pending:
-            if u.key == key:
-                v = u.value
-        return v
+        b = self._pending.get(key)
+        if b is not None:
+            return b[-1][1].value
+        i = self.layout.index.get(key)
+        return UNDEF if i is None else self.slots[i]
 
     def snapshot(self) -> dict[str, object]:
         """A shallow copy of current values (for checkpointing)."""
-        return dict(self.values)
+        slots = self.slots
+        return {k: slots[i] for k, i in self.layout.index.items()}
+
+    # -- pending queue (read side) -----------------------------------------
+
+    @property
+    def pending(self) -> tuple[Update, ...]:
+        """Queued remote updates in global arrival order.
+
+        A read-only reconstruction from the per-key buckets — enqueue
+        through :meth:`receive` or :meth:`enqueue_pending`, never by
+        mutating this value (hence a tuple: stray ``.append`` calls
+        fail loudly instead of vanishing)."""
+        if not self._pending:
+            return ()
+        tagged = [su for b in self._pending.values() for su in b]
+        tagged.sort(key=lambda su: su[0])
+        return tuple(u for _, u in tagged)
+
+    def pending_updates(self) -> list[Update]:
+        """The queued updates, arrival-ordered, as a list; explicit
+        form for transfer paths (reconfiguration snapshots)."""
+        return list(self.pending)
+
+    @property
+    def pending_count(self) -> int:
+        return self._pending_n
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def enqueue_pending(self, updates: Iterable[Update]) -> None:
+        """Queue updates directly (reconfiguration restore: carry a
+        predecessor table's unapplied backlog into this table).  Does
+        not count as *receiving* — dedup/recv-seq already happened in
+        the previous incarnation."""
+        for u in updates:
+            self._enqueue(u)
+
+    # -- internal write helpers --------------------------------------------
+
+    def _declare_slot(self, key: str) -> int:
+        i = self.layout.add(key)
+        if i == len(self.slots):
+            self.slots.append(UNDEF)
+            if self._tx_stack:
+                self._tx_stack[-1].append((i, _TX_UNDECLARED))
+        return i
+
+    def _store_named(self, key: str, value: object) -> None:
+        """Plain by-name store: declare-if-missing, tx-logged, marks
+        the guard dirty; no local-priority discard (that is
+        :meth:`set_local`'s job)."""
+        i = self.layout.index.get(key)
+        if i is None:
+            i = self._declare_slot(key)
+        if self._tx_stack:
+            self._tx_stack[-1].append((i, self.slots[i]))
+        self.slots[i] = value
+        if key in self._guard_keys:
+            self.guard_dirty = True
+
+    def _discard_pending(self, key: str) -> None:
+        b = self._pending.pop(key, None)
+        if b is not None:
+            self._pending_n -= len(b)
+            self._note_pending()
 
     # -- local writes -------------------------------------------------------
 
@@ -152,13 +395,34 @@ class KVTable:
         """A local update (save / assert / retract / host write).  Local
         updates overwrite — and therefore discard — pending remote
         updates to the same key."""
-        if key not in self.values:
+        i = self.layout.index.get(key)
+        if i is None:
             raise KeyError(f"{self.owner}: no junction state {key!r}")
         if self.on_local_write is not None:
-            self.on_local_write(key, self.values[key])
-        self.values[key] = value
-        if self.executing:
-            self.pending = [u for u in self.pending if u.key != key]
+            self.on_local_write(key, self.slots[i])
+        if self._tx_stack:
+            self._tx_stack[-1].append((i, self.slots[i]))
+        self.slots[i] = value
+        if key in self._guard_keys:
+            self.guard_dirty = True
+        if self.executing and self._pending:
+            self._discard_pending(key)
+
+    def set_slot(self, i: int, key: str, value: object) -> None:
+        """Slot-direct form of :meth:`set_local` for compiled junction
+        bodies: the compiler resolved ``key`` to slot ``i`` at bind
+        time, so the hot path skips the index lookup.  ``key`` still
+        rides along for the undo-log hook and local-priority discard,
+        which are name-keyed."""
+        if self.on_local_write is not None:
+            self.on_local_write(key, self.slots[i])
+        if self._tx_stack:
+            self._tx_stack[-1].append((i, self.slots[i]))
+        self.slots[i] = value
+        if key in self._guard_keys:
+            self.guard_dirty = True
+        if self.executing and self._pending:
+            self._discard_pending(key)
 
     # -- remote updates ------------------------------------------------------
 
@@ -202,68 +466,117 @@ class KVTable:
 
     def _note_pending(self) -> None:
         if self._gauge_pending is not None:
-            self._gauge_pending.set(len(self.pending))
+            self._gauge_pending.set(self._pending_n)
+
+    def _enqueue(self, update: Update) -> None:
+        self._pending_seq += 1
+        b = self._pending.get(update.key)
+        if b is None:
+            self._pending[update.key] = [(self._pending_seq, update)]
+        else:
+            b.append((self._pending_seq, update))
+        self._pending_n += 1
+        self._note_pending()
 
     def receive(self, update: Update) -> None:
         """Handle an arriving remote update."""
-        self._recv_seq[update.key] = self._recv_seq.get(update.key, 0) + 1
-        if self._ctr_received is not None:
-            self._ctr_received.inc()
+        key = update.key
+        rs = self._recv_seq
+        rs[key] = rs.get(key, 0) + 1
+        c = self._ctr_received
+        if c is not None:
+            c.value += 1  # Counter.inc, sans the method call
         if self.executing:
-            admitted = any(w.active and update.key in w.admits for w in self.windows)
-            if admitted:
-                self.values[update.key] = update.value
+            if self.windows and any(
+                w.active and key in w.admits for w in self.windows
+            ):
+                self._store_named(key, update.value)
                 if self._ctr_applied is not None:
                     self._ctr_applied.inc()
                 for w in list(self.windows):
-                    if w.active and update.key in w.admits:
-                        w.on_update(update.key)
+                    if w.active and key in w.admits:
+                        w.on_update(key)
                 return
-            self.pending.append(update)
-            self._note_pending()
+            self._enqueue(update)
+            return
+        # idle enqueue, inlined: every update arriving between
+        # schedulings lands here — the hottest single path in a
+        # remote-update storm
+        self._pending_seq += 1
+        b = self._pending.get(key)
+        if b is None:
+            self._pending[key] = [(self._pending_seq, update)]
         else:
-            self.pending.append(update)
-            self._note_pending()
-            if self.on_idle_update is not None:
-                self.on_idle_update()
+            b.append((self._pending_seq, update))
+        self._pending_n += 1
+        g = self._gauge_pending
+        if g is not None:
+            g.value = self._pending_n
+        cb = self.on_idle_update
+        if cb is not None:
+            cb()
 
     def apply_pending(self) -> int:
-        """Apply queued updates in arrival order (called when the
-        junction is scheduled).  Returns the number applied."""
-        n = len(self.pending)
-        for u in self.pending:
-            self.values[u.key] = u.value
-        self.pending.clear()
-        if n and self._ctr_applied is not None:
-            self._ctr_applied.inc(n)
+        """Apply queued updates (called when the junction is
+        scheduled).  Per key only the last-arrived value is written —
+        observably identical to replaying the bucket in order — but the
+        returned count covers every queued update, as before.  Returns
+        the number applied."""
+        n = self._pending_n
+        if n:
+            index = self.layout.index
+            slots = self.slots
+            tx = self._tx_stack[-1] if self._tx_stack else None
+            gk = self._guard_keys
+            dirty = False
+            for key, b in self._pending.items():
+                i = index.get(key)
+                if i is None:
+                    i = self._declare_slot(key)
+                    slots = self.slots
+                if tx is not None:
+                    tx.append((i, slots[i]))
+                slots[i] = b[-1][1].value
+                if key in gk:
+                    dirty = True
+            if dirty:
+                self.guard_dirty = True
+            self._pending.clear()
+            self._pending_n = 0
+            if self._ctr_applied is not None:
+                self._ctr_applied.inc(n)
         self._note_pending()
         return n
 
     def apply_pending_for(self, keys: Iterable[str]) -> int:
-        """Apply queued updates to the given keys only (arrival order).
+        """Apply queued updates to the given keys only, leaving the
+        rest queued.
 
         Used at ``wait`` entry: the statement "allows the junction's
         table to reflect changes" to its propositions and listed data —
         including changes that arrived (and were queued) moments before
         the wait opened its window."""
-        keyset = set(keys)
         applied = 0
-        remaining = []
-        for u in self.pending:
-            if u.key in keyset:
-                self.values[u.key] = u.value
-                applied += 1
-            else:
-                remaining.append(u)
-        self.pending = remaining
-        if applied and self._ctr_applied is not None:
-            self._ctr_applied.inc(applied)
+        if self._pending:
+            for key in set(keys).intersection(self._pending):
+                b = self._pending.pop(key)
+                applied += len(b)
+                self._store_named(key, b[-1][1].value)
+            if applied:
+                self._pending_n -= applied
+                if self._ctr_applied is not None:
+                    self._ctr_applied.inc(applied)
         self._note_pending()
         return applied
 
     def keep(self, keys: Iterable[str]) -> None:
-        keyset = set(keys)
-        self.pending = [u for u in self.pending if u.key not in keyset]
+        dropped = 0
+        if self._pending:
+            for key in set(keys).intersection(self._pending):
+                dropped += len(self._pending.pop(key))
+        if dropped:
+            self._pending_n -= dropped
+            self._note_pending()
 
     # -- wait windows -----------------------------------------------------------
 
@@ -279,13 +592,37 @@ class KVTable:
     # -- transactions ----------------------------------------------------------
 
     def tx_begin(self) -> None:
-        self._tx_stack.append(dict(self.values))
+        self._tx_stack.append([])
 
     def tx_commit(self) -> None:
-        self._tx_stack.pop()
+        frame = self._tx_stack.pop()
+        if self._tx_stack:
+            # nested commit: the enclosing transaction must still be
+            # able to undo the inner transaction's writes
+            self._tx_stack[-1].extend(frame)
 
     def tx_rollback(self) -> None:
-        self.values = self._tx_stack.pop()
+        frame = self._tx_stack.pop()
+        gk = self._guard_keys
+        dirty = False
+        for i, old in reversed(frame):
+            key = self.layout.keys[i]
+            if old is _TX_UNDECLARED:
+                if i == len(self.slots) - 1:
+                    # slots allocate append-only, so a slot declared
+                    # inside the frame is undone last and sits at the
+                    # end — safe to truly un-declare it
+                    self.slots.pop()
+                    self.layout.keys.pop()
+                    del self.layout.index[key]
+                else:
+                    self.slots[i] = UNDEF
+            else:
+                self.slots[i] = old
+            if key in gk:
+                dirty = True
+        if dirty:
+            self.guard_dirty = True
 
     @property
     def in_transaction(self) -> bool:

@@ -70,8 +70,6 @@ class _Event:
         priority: int,
         seq: int,
         callback: Callable[[], None],
-        cancelled: bool = False,
-        in_heap: bool = True,
         label: str | None = None,
         footprint: object = None,
     ):
@@ -79,8 +77,8 @@ class _Event:
         self.priority = priority
         self.seq = seq
         self.callback = callback
-        self.cancelled = cancelled
-        self.in_heap = in_heap
+        self.cancelled = False
+        self.in_heap = True
         #: parked in the zero-delay FIFO lane instead of the heap
         self.in_due = False
         #: stable identity for schedule recording/replay (None = anonymous)
@@ -206,7 +204,7 @@ class Simulator:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
-        ev = _Event(time, priority, next(self._seq), callback, label=label, footprint=footprint)
+        ev = _Event(time, priority, next(self._seq), callback, label, footprint)
         if time == self._now and priority == 0 and self.controller is None:
             # zero-delay fast lane: same total order (the lane is sorted
             # by construction — appends carry nondecreasing time and
@@ -233,10 +231,7 @@ class Simulator:
         if delay == 0.0 and priority == 0 and self.controller is None:
             # inline the zero-delay lane (call_after(0, ...) is the
             # hottest scheduling call: pumps, attempts, wake-ups)
-            ev = _Event(
-                self._now, 0, next(self._seq), callback,
-                label=label, footprint=footprint,
-            )
+            ev = _Event(self._now, 0, next(self._seq), callback, label, footprint)
             ev.in_heap = False
             ev.in_due = True
             self._due.append(ev)
@@ -252,14 +247,14 @@ class Simulator:
     ) -> None:
         """Fire-and-forget ``call_after(0, ...)`` — no EventHandle."""
         if self.controller is None:
-            ev = _Event(self._now, 0, next(self._seq), callback, label=label, footprint=footprint)
+            ev = _Event(self._now, 0, next(self._seq), callback, label, footprint)
             ev.in_heap = False
             ev.in_due = True
             self._due.append(ev)
         else:
             heapq.heappush(
                 self._queue,
-                _Event(self._now, 0, next(self._seq), callback, label=label, footprint=footprint),
+                _Event(self._now, 0, next(self._seq), callback, label, footprint),
             )
 
     # -- lazy-cancellation bookkeeping --------------------------------------
@@ -411,12 +406,24 @@ class Simulator:
                         pop(queue).in_heap = False
                         self._cancelled -= 1
                         continue
-                    if head < ev:
-                        if head.time > time:
+                    # inlined ``head < ev`` — this compare runs once
+                    # per drained event and the heap head is usually a
+                    # far-future timeout, so the first time test
+                    # settles it without a method call
+                    ht = head.time
+                    et = ev.time
+                    if ht < et or (
+                        ht == et
+                        and (
+                            head.priority < ev.priority
+                            or (head.priority == ev.priority and head.seq < ev.seq)
+                        )
+                    ):
+                        if ht > time:
                             break
                         pop(queue)
                         head.in_heap = False
-                        self._now = head.time
+                        self._now = ht
                         head.callback()
                         continue
                 if ev.time > time:

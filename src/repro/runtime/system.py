@@ -135,6 +135,9 @@ class System:
             compiled = compile_default()
         self._compiled = bool(compiled)
         self._compile_cache: dict = {}
+        #: node -> JunctionRuntime resolution cache; cleared whenever
+        #: the instance/junction topology changes (reconfiguration)
+        self._junction_cache: dict[str, JunctionRuntime] = {}
         if controller_pending() and not engine.supports_controlled_scheduling:
             raise ValueError(
                 f"engine {engine.name!r} does not support controlled scheduling "
@@ -544,11 +547,14 @@ class System:
     # ------------------------------------------------------------------
 
     def junction(self, node: str) -> JunctionRuntime:
+        jr = self._junction_cache.get(node)
+        if jr is not None:
+            return jr
         inst_name, _, jname = node.partition("::")
         inst = self.instance(inst_name)
-        if not jname:
-            return inst.sole_junction()
-        return inst.junction(jname)
+        jr = inst.sole_junction() if not jname else inst.junction(jname)
+        self._junction_cache[node] = jr
+        return jr
 
     def _attempt_soon(self, jr: JunctionRuntime, cause: int | None = None) -> None:
         """Schedule an attempt; ``cause`` (or, when absent, the event
@@ -556,24 +562,41 @@ class System:
         causal parent of the resulting ``attempt`` event."""
         if cause is None:
             cause = self._attempt_cause
-        self.clock.post(
-            partial(self.attempt_schedule, jr, cause),
-            label=jr._label_attempt,
-            footprint=jr._fp_node,
-        )
+        if cause is None:
+            # causeless attempts (telemetry off, or idle pokes with no
+            # parent event) reuse one callback per junction instead of
+            # allocating a partial per post
+            cb = jr._attempt_cb
+            if cb is None:
+                cb = jr._attempt_cb = partial(self.attempt_schedule, jr, None)
+        else:
+            cb = partial(self.attempt_schedule, jr, cause)
+        self.clock.post(cb, label=jr._label_attempt, footprint=jr._fp_node)
 
     def attempt_schedule(self, jr: JunctionRuntime, cause: int | None = None) -> bool:
         """Apply pending updates, check the guard, and run if it holds."""
         inst = jr.instance
-        if not inst.alive or jr.paused or jr.status != "idle" or jr.body is None:
+        if jr.status != "idle" or not inst.running or inst.crashed or jr.paused or jr.body is None:
             return False
         tel = self.telemetry
         attempt_ev = tel.emit("attempt", jr.node, parent=cause) if tel.enabled else None
-        if jr.table.pending:
-            jr.table.apply_pending()
-        if not self._guard_holds(jr):
+        t = jr.table
+        if t._pending_n:
+            t.apply_pending()
+        # inline of _guard_holds' clean-cache fast path (dirty-driven
+        # scheduling): most attempts in an update storm re-see a guard
+        # whose footprint did not change
+        if t.guard_tracked and not t.guard_dirty and t.guard_cached is not None:
+            if not t.guard_cached:
+                return False
+        elif not self._guard_holds(jr):
             return False
-        execution = JunctionExecution(self, jr, parent_event=attempt_ev)
+        execution = jr._free_exec
+        if execution is None:
+            execution = JunctionExecution(self, jr, parent_event=attempt_ev)
+        else:
+            jr._free_exec = None
+            execution.reset(attempt_ev)
         self._executions[jr.node] = execution
         execution.start()
         return True
@@ -605,23 +628,39 @@ class System:
         return code
 
     def _guard_holds(self, jr: JunctionRuntime) -> bool:
+        # dirty-driven scheduling: a pure guard's verdict depends only
+        # on the keys the table tracks for it, so while none of them
+        # changed since the last evaluation the cached verdict stands.
+        # Only the *evaluation* is skipped — attempts still fire and
+        # pending updates still apply, so the observable event stream
+        # (and telemetry) is identical with or without the cache.
+        t = jr.table
+        if t.guard_tracked and not t.guard_dirty and t.guard_cached is not None:
+            return t.guard_cached
         code = jr.code
         if code is not None and code.guard_fn is not None:
-            return code.guard_fn(jr.table.values) is True
-        guard = jr.guard if jr.guard is not None else TRUE
-        v = evaluate(
-            guard,
-            lambda k: jr.table.values.get(k) if isinstance(jr.table.values.get(k), bool) else UNKNOWN,
-            at=self.make_at_resolver(jr),
-            live=self.make_live_resolver(),
-        )
-        return v is True
+            held = code.guard_fn(t.slots) is True
+        else:
+            guard = jr.guard if jr.guard is not None else TRUE
+            held = (
+                evaluate(
+                    guard,
+                    lambda k: pv if isinstance(pv := t.prop_value(k), bool) else UNKNOWN,
+                    at=self.make_at_resolver(jr),
+                    live=self.make_live_resolver(),
+                )
+                is True
+            )
+        if t.guard_tracked:
+            t.guard_cached = held
+            t.guard_dirty = False
+        return held
 
     def execution_finished(self, jr: JunctionRuntime, execution: JunctionExecution) -> None:
         if execution.failure is not None:
             self.failures.append((self.clock.now, jr.node, execution.failure))
         self._executions.pop(jr.node, None)
-        if jr.table.pending:
+        if jr.table._pending_n:
             self._attempt_soon(jr)
 
     # ------------------------------------------------------------------
@@ -720,7 +759,7 @@ class System:
                 return UNKNOWN
             return evaluate(
                 body,
-                lambda k: jr.table.values.get(k) if isinstance(jr.table.values.get(k), bool) else UNKNOWN,
+                lambda k: pv if isinstance(pv := jr.table.prop_value(k), bool) else UNKNOWN,
                 at=self.make_at_resolver(jr),
                 live=self.make_live_resolver(),
             )
@@ -750,12 +789,16 @@ class System:
         jr = self.junction(node)
         jr.external_inbound = True
         tel = self.telemetry
-        ev = tel.emit("external_update", jr.node, key=key) if tel.enabled else None
-        self._attempt_cause = ev
-        try:
-            jr.table.receive(Update(key=key, value=value, src="__external__"))
-        finally:
-            self._attempt_cause = None
+        if tel.enabled:
+            ev = tel.emit("external_update", jr.node, key=key)
+            self._attempt_cause = ev
+            try:
+                jr.table.receive(Update(key, value, "__external__"))
+            finally:
+                self._attempt_cause = None
+        else:
+            ev = None
+            jr.table.receive(Update(key, value, "__external__"))
         if poke:
             self._attempt_soon(jr, cause=ev)
 

@@ -20,6 +20,16 @@ and the schedule-exploration harness (:mod:`repro.explore`) consume:
 * :func:`footprint_of` — footprints of the formal semantic labels
   (:class:`~repro.semantics.events.Wr`, ``Rd``, ``Sched``, …), so the
   runtime relation provably refines the event-structure one.
+
+Resource tokens are deliberately keyed by *name* even though each
+table stores its values in slot-addressed storage
+(:mod:`repro.runtime.kvtable`): slots are junction-local — the same
+key can occupy different slots in different junctions, or in the same
+junction across a live reconfiguration that rebinds its declarations —
+so a slot index is meaningless as a cross-junction resource id.  Names
+are the stable vocabulary everywhere state crosses a junction
+boundary; the slot layout is a per-table representation detail,
+translated at that boundary.
 """
 
 from __future__ import annotations

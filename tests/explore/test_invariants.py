@@ -75,7 +75,7 @@ class TestBuiltins:
     def test_convergence_flags_undrained_pending(self):
         sys_ = _system()
         jr = sys_.junction("x::junction")
-        jr.table.pending.append(Update(key="P", value=True, src="ghost"))
+        jr.table.enqueue_pending([Update(key="P", value=True, src="ghost")])
         out = check_invariants(sys_, {}, ("convergence",))
         assert len(out) == 1
         assert "pending" in out[0][1]
@@ -83,7 +83,7 @@ class TestBuiltins:
     def test_convergence_ignores_dead_instances(self):
         sys_ = _system()
         jr = sys_.junction("x::junction")
-        jr.table.pending.append(Update(key="P", value=True, src="ghost"))
+        jr.table.enqueue_pending([Update(key="P", value=True, src="ghost")])
         sys_.crash_instance("x")
         assert check_invariants(sys_, {}, ("convergence",)) == []
 

@@ -298,3 +298,35 @@ def test_sharding_transfer_matches_fresh_placement():
     (_, fresh_placement, fresh_state), _ = run_case("sharding", reconfig=False)
     assert live_state == fresh_state == {"a": b"3", "b": b"x", "c": b"2"}
     assert live_placement == fresh_placement
+
+
+def test_reshard_crosses_differing_slot_layouts():
+    """The pool 2 → 3 reconfiguration rebinds the front-end against a
+    program with *more* declared keys (the per-backend props and the
+    ``tgt`` subset membership expand over the pool), so the old and new
+    tables have different key→slot layouts — the restore path must
+    translate state by name, never by slot index."""
+    from repro.arch.sharding import ParallelShardedRedis
+
+    hist = []
+    svc = ParallelShardedRedis(n_backends=2, seed=0, timeout=2.0)
+    jr = svc.system.junction("Fnt::junction")
+    old_table = jr.table
+    old_index = dict(old_table.layout.index)
+    drive(svc, PART1, hist)
+    rep = svc.reconfigure_backends(3)
+    assert rep.ok, rep.reason
+    settle(svc)
+    new_table = svc.system.junction("Fnt::junction").table
+    new_index = dict(new_table.layout.index)
+    assert new_table is not old_table
+    # the pool grew: new per-backend keys exist only in the new layout
+    assert set(new_index) - set(old_index)
+    # and surviving keys moved to different slots, so a transfer done
+    # by slot index (rather than by name) could not have been correct
+    moved = [k for k in old_index if new_index.get(k, old_index[k]) != old_index[k]]
+    assert moved, (old_index, new_index)
+    drive(svc, PART2, hist)
+    settle(svc)
+    assert not svc.system.failures
+    assert all(ok for (_, _, _v, ok) in hist), hist

@@ -59,7 +59,7 @@ class TestPendingQueue:
         assert n == 3
         assert t.get("Work") is False  # last write wins
         assert t.get("Done") is True
-        assert t.pending == []
+        assert t.pending == ()
 
     def test_effective_overlays_pending(self):
         t = table()
@@ -89,7 +89,7 @@ class TestLocalPriority:
         t.executing = True
         t.receive(up("Work", True))
         t.set_local("Work", False)
-        assert t.pending == []
+        assert t.pending == ()
         t.apply_pending()
         assert t.get("Work") is False
 
@@ -124,7 +124,7 @@ class TestWindows:
         t.receive(up("Work", True))
         assert t.get("Work") is True
         assert hits == ["Work"]
-        assert t.pending == []
+        assert t.pending == ()
 
     def test_unadmitted_update_queued(self):
         t = table()
@@ -195,7 +195,7 @@ class TestKeep:
         t.receive(up("Work", True))
         t.keep(["Work"])
         t.keep(["Work"])
-        assert t.pending == []
+        assert t.pending == ()
 
 
 class TestTransactions:
@@ -232,3 +232,80 @@ class TestTransactions:
         assert t.in_transaction
         t.tx_commit()
         assert not t.in_transaction
+
+
+class TestPendingGauge:
+    """The ``kv_pending_updates`` gauge must track every path that
+    changes the backlog — including ``keep``, which used to drop
+    buckets without re-syncing it (regression test)."""
+
+    def instrumented(self):
+        from repro.telemetry.facade import Telemetry
+
+        class _Clock:
+            now = 0.0
+
+        tel = Telemetry(_Clock())
+        t = table()
+        t.attach_telemetry(tel)
+        return t, tel.gauge("kv_pending_updates", node=t.owner)
+
+    def test_keep_resyncs_gauge(self):
+        t, gauge = self.instrumented()
+        t.receive(up("Work", True))
+        t.receive(up("Work", False))
+        t.receive(up("Done", True))
+        assert gauge.value == 3
+        t.keep(["Work"])
+        assert gauge.value == 1
+        t.keep(["Work", "Done"])  # idempotent on Work, drops Done
+        assert gauge.value == 0
+        assert t.pending_count == 0
+
+    def test_gauge_follows_enqueue_apply_and_discard(self):
+        t, gauge = self.instrumented()
+        t.receive(up("Work", True))
+        t.receive(up("Done", True))
+        assert gauge.value == 2
+        t.apply_pending()
+        assert gauge.value == 0
+        t.executing = True
+        t.receive(up("Work", True))
+        assert gauge.value == 1
+        t.set_local("Work", False)  # local priority discards the bucket
+        assert gauge.value == 0
+
+
+class TestRollbackStorageIdentity:
+    """Rollback restores *values in place*: the flat slot list and the
+    dict-like view keep their identity, so compiled bodies that closed
+    over ``table.slots`` stay valid across an aborted transaction."""
+
+    def test_storage_identity_survives_rollback(self):
+        t = table()
+        slots = t.slots
+        values = t.values
+        t.tx_begin()
+        t.set_local("Work", True)
+        t.values["Extra"] = 7  # declares a new slot inside the frame
+        assert t.has("Extra")
+        t.tx_rollback()
+        assert t.slots is slots
+        assert t.values is values
+        assert t.get("Work") is False
+        # the slot declared inside the frame is truly un-declared
+        assert not t.has("Extra")
+        # the alias still reads live storage after rollback
+        t.set_local("Work", True)
+        assert slots[t.layout.slot_of("Work")] is True
+
+    def test_rollback_of_mid_frame_declaration(self):
+        t = table()
+        t.tx_begin()
+        t.values["A9"] = 1
+        t.values["B9"] = 2  # two new slots; undone in reverse order
+        t.set_local("Work", True)
+        t.tx_rollback()
+        assert not t.has("A9") and not t.has("B9")
+        assert t.get("Work") is False
+        assert len(t.slots) == len(t.layout.keys) == len(t.layout.index)

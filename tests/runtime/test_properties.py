@@ -152,3 +152,103 @@ class TestDeterminism:
             return [(e.time, e.kind, e.node) for e in sys_.telemetry.events]
 
         assert run(seed) == run(0)
+
+
+# ---------------------------------------------------------------------------
+# Reliable-delivery bookkeeping on the table
+# ---------------------------------------------------------------------------
+
+class TestDedupWindowProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4300), st.integers(1, 256)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exactly_once_across_window_eviction(self, retransmits):
+        """A storm of more distinct message ids than the dedup window
+        holds: every fresh id is accepted exactly once, and every
+        retransmission arriving within the window of its original is
+        suppressed — including ids old enough that the FIFO eviction
+        has already cycled past them and back."""
+        n = KVTable.DEDUP_WINDOW + 512
+        # retransmit id `i` right after the `i + lag`-th fresh delivery
+        resend_after: dict[int, list[int]] = {}
+        for i, lag in retransmits:
+            resend_after.setdefault(min(i + lag, n - 1), []).append(i)
+        t = KVTable("p::j")
+        accepted = 0
+        for i in range(n):
+            accepted += t.note_msg_id(i)
+            for j in resend_after.get(i, ()):
+                # lag <= 256 << DEDUP_WINDOW: still inside the window
+                assert not t.note_msg_id(j)
+        assert accepted == n
+        # the filter stays bounded no matter how long the storm runs
+        assert len(t._seen_msg_ids) <= KVTable.DEDUP_WINDOW
+
+    @given(st.integers(1, 2**63))
+    @settings(max_examples=50)
+    def test_single_id_idempotent(self, msg_id):
+        t = KVTable("p::j")
+        assert t.note_msg_id(msg_id)
+        assert not t.note_msg_id(msg_id)
+        assert not t.note_msg_id(msg_id)
+
+
+class TestRecvSeqProperties:
+    @given(ops)
+    @settings(max_examples=150)
+    def test_recv_seq_counts_arrivals_only(self, sequence):
+        """``recv_seq_of`` counts *received* remote updates per key and
+        nothing else — applying, keeping, and local-priority discard
+        leave it untouched.  That is what makes it usable as a late-ack
+        guard: the interpreter samples it before a remote
+        assert/retract, and a changed value when the (possibly
+        retransmitted) ack arrives proves a newer remote update landed
+        in between, so the ack's deferred local effect must be
+        dropped."""
+        t = KVTable("p::j")
+        for k in KEYS:
+            t.declare(k, False)
+        t.executing = True
+        arrived = {k: 0 for k in KEYS}
+        for op in sequence:
+            if op[0] == "remote":
+                _, k, v = op
+                t.receive(Update(key=k, value=v, src="q::j"))
+                arrived[k] += 1
+            elif op[0] == "local":
+                t.set_local(op[1], op[2])
+            elif op[0] == "apply":
+                t.apply_pending()
+            else:
+                t.keep([op[1]])
+            for k in KEYS:
+                assert t.recv_seq_of(k) == arrived[k]
+
+    @given(ops, st.sampled_from(KEYS))
+    @settings(max_examples=100)
+    def test_late_ack_guard_fires_iff_key_saw_arrivals(self, sequence, key):
+        """The late-ack pattern end to end: sample the seq, run an
+        arbitrary interleaving, and the sample is stale exactly when a
+        remote update to that key arrived during it."""
+        t = KVTable("p::j")
+        for k in KEYS:
+            t.declare(k, False)
+        t.executing = True
+        sampled = t.recv_seq_of(key)
+        arrivals = 0
+        for op in sequence:
+            if op[0] == "remote":
+                _, k, v = op
+                t.receive(Update(key=k, value=v, src="q::j"))
+                arrivals += k == key
+            elif op[0] == "local":
+                t.set_local(op[1], op[2])
+            elif op[0] == "apply":
+                t.apply_pending()
+            else:
+                t.keep([op[1]])
+        assert (t.recv_seq_of(key) != sampled) == (arrivals > 0)
